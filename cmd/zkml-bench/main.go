@@ -1,0 +1,73 @@
+// Command zkml-bench regenerates the paper's evaluation tables (§9) on this
+// machine. Each table of the paper maps to one experiment; run all of them
+// or a single one:
+//
+//	zkml-bench -table all
+//	zkml-bench -table 6               # end-to-end KZG
+//	zkml-bench -table 9 -quick        # baseline comparison, reduced models
+//	zkml-bench -table savings         # §9.4 optimizer-vs-exhaustive
+//	zkml-bench -table rank            # §9.5 cost-model rank accuracy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 5-14, savings, rank, all")
+	quick := flag.Bool("quick", false, "reduced models and sample counts")
+	models := flag.String("models", "", "comma-separated model subset (optional)")
+	scaleBits := flag.Int("scale-bits", 6, "fixed-point scale bits")
+	lookupBits := flag.Int("lookup-bits", 10, "lookup precision bits")
+	maxCols := flag.Int("max-cols", 24, "maximum advice columns searched")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.FP.ScaleBits = *scaleBits
+	cfg.FP.LookupBits = *lookupBits
+	cfg.MaxCols = *maxCols
+	if *models != "" {
+		cfg.Models = strings.Split(*models, ",")
+	}
+
+	runs := map[string]func(experiments.Config) (*experiments.Table, error){
+		"5": experiments.Table5, "6": experiments.Table6, "7": experiments.Table7,
+		"8": experiments.Table8, "9": experiments.Table9, "10": experiments.Table10,
+		"11": experiments.Table11, "12": experiments.Table12,
+		"savings": experiments.OptimizerSavings,
+		"13":      experiments.Table13, "14": experiments.Table14,
+		"rank": experiments.RankCorrelation,
+	}
+	order := []string{"5", "6", "7", "8", "9", "10", "11", "12", "savings", "13", "14", "rank"}
+
+	var selected []string
+	if *table == "all" {
+		selected = order
+	} else {
+		if _, ok := runs[*table]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown table %q (known: %v, all)\n", *table, order)
+			os.Exit(2)
+		}
+		selected = []string{*table}
+	}
+
+	for _, id := range selected {
+		start := time.Now()
+		t, err := runs[id](cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

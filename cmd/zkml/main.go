@@ -1,0 +1,266 @@
+// Command zkml is the ZKML-Go command-line interface: optimize a model's
+// circuit layout, generate keys, prove an inference, and verify the proof.
+//
+// Usage:
+//
+//	zkml models                               list bundled models
+//	zkml export -model mnist -out m.json      write a model spec to JSON
+//	zkml optimize -model mnist [-backend ipa] show the optimizer's plan
+//	zkml prove -model mnist [-seed 7]         compile, prove, verify one inference
+//	zkml verify -model mnist -in proof.bin    verify a serialized proof
+//	zkml calibrate [-out calib.json]          benchmark this machine's cost profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/zkml"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "models":
+		err = cmdModels()
+	case "export":
+		err = cmdExport(args)
+	case "optimize":
+		err = cmdOptimize(args)
+	case "prove":
+		err = cmdProve(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "calibrate":
+		err = cmdCalibrate(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zkml:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: zkml <models|export|optimize|prove|verify|calibrate> [flags]`)
+}
+
+func commonFlags(fs *flag.FlagSet) (modelName *string, backend *string, scaleBits, lookupBits, maxCols *int, seed *int64) {
+	modelName = fs.String("model", "mnist", "bundled model name (see `zkml models`)")
+	backend = fs.String("backend", "kzg", "commitment backend: kzg or ipa")
+	scaleBits = fs.Int("scale-bits", 6, "fixed-point scale bits")
+	lookupBits = fs.Int("lookup-bits", 10, "lookup table precision bits")
+	maxCols = fs.Int("max-cols", 24, "maximum advice columns to search")
+	seed = fs.Int64("seed", 1, "synthetic input seed")
+	return
+}
+
+func optionsFrom(backend string, scaleBits, lookupBits, maxCols int) (zkml.Options, error) {
+	o := zkml.Options{ScaleBits: scaleBits, LookupBits: lookupBits, MaxCols: maxCols,
+		CalibrationPath: os.Getenv("ZKML_CALIBRATION")}
+	switch backend {
+	case "kzg":
+		o.Backend = zkml.KZG
+	case "ipa":
+		o.Backend = zkml.IPA
+	default:
+		return o, fmt.Errorf("unknown backend %q", backend)
+	}
+	return o, nil
+}
+
+func cmdModels() error {
+	fmt.Println("bundled evaluation models (Table 5 of the paper):")
+	for _, name := range zkml.ModelNames() {
+		spec, _ := zkml.Model(name)
+		g := spec.Build()
+		fl, err := g.Flops(spec.Input(1))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-18s %8d params %10d flops  (stands in for %s)\n",
+			name, g.Params(), fl, spec.Paper)
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	name := fs.String("model", "mnist", "model to export")
+	out := fs.String("out", "", "output JSON path (default <model>.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := zkml.Model(*name)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = *name + ".json"
+	}
+	if err := spec.Build().Save(path); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	name, backend, sb, lb, mc, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := zkml.Model(*name)
+	if err != nil {
+		return err
+	}
+	o, err := optionsFrom(*backend, *sb, *lb, *mc)
+	if err != nil {
+		return err
+	}
+	plan, cands, stats, err := zkml.Optimize(spec.Build(), spec.Input(*seed), o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimizer: %d candidates evaluated, %d pruned, %v\n",
+		stats.Evaluated, stats.Pruned, stats.Duration.Round(time.Millisecond))
+	fmt.Printf("chosen: %d cols, 2^%d rows (%d used), dot=%s constdot=%v, est %.2fs, est proof %d B\n",
+		plan.Config.NumCols, plan.K, plan.UsedRows, plan.Config.Dot, plan.Config.UseConstDot,
+		plan.Cost, plan.Size)
+	fmt.Println("candidates:")
+	for _, c := range cands {
+		fmt.Printf("  cols=%-3d rows=2^%-2d dot=%-5s constdot=%-5v est=%8.3fs size=%6dB\n",
+			c.Config.NumCols, c.K, c.Config.Dot, c.Config.UseConstDot, c.Cost, c.Size)
+	}
+	return nil
+}
+
+func cmdProve(args []string) error {
+	fs := flag.NewFlagSet("prove", flag.ExitOnError)
+	name, backend, sb, lb, mc, seed := commonFlags(fs)
+	out := fs.String("out", "", "write the serialized proof to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := zkml.Model(*name)
+	if err != nil {
+		return err
+	}
+	o, err := optionsFrom(*backend, *sb, *lb, *mc)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	sys, err := zkml.Compile(spec.Build(), spec.Input(1), o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compiled in %v: %s\n", time.Since(start).Round(time.Millisecond), sys.Describe())
+
+	start = time.Now()
+	proof, err := sys.Prove(spec.Input(*seed))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("proved in %v, proof %d bytes\n", time.Since(start).Round(time.Millisecond), proof.Proof.Size())
+
+	start = time.Now()
+	if err := sys.Verify(proof); err != nil {
+		return err
+	}
+	fmt.Printf("verified in %v\n", time.Since(start).Round(time.Microsecond))
+	if *out != "" {
+		data, err := sys.ExportProof(proof)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes); check with: zkml verify -model %s -backend %s -scale-bits %d -lookup-bits %d -max-cols %d -in %s\n",
+			*out, len(data), *name, *backend, *sb, *lb, *mc, *out)
+	}
+	outs := sys.Outputs(proof)
+	limit := len(outs)
+	if limit > 16 {
+		limit = 16
+	}
+	fmt.Printf("public outputs (%d values): %.4f\n", len(outs), outs[:limit])
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	name, backend, sb, lb, mc, _ := commonFlags(fs)
+	in := fs.String("in", "", "serialized proof file (from `zkml prove -out`)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("verify requires -in <proof file>")
+	}
+	spec, err := zkml.Model(*name)
+	if err != nil {
+		return err
+	}
+	o, err := optionsFrom(*backend, *sb, *lb, *mc)
+	if err != nil {
+		return err
+	}
+	// Recompile deterministically to recover the verification key (in a
+	// deployment the vkey would be distributed; weights and layout are
+	// deterministic per model).
+	sys, err := zkml.Compile(spec.Build(), spec.Input(1), o)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	proof, err := sys.ImportProof(data)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := sys.Verify(proof); err != nil {
+		return fmt.Errorf("proof INVALID: %w", err)
+	}
+	fmt.Printf("proof valid (verified in %v); outputs: %.4f\n",
+		time.Since(start).Round(time.Microsecond), sys.Outputs(proof))
+	return nil
+}
+
+func cmdCalibrate(args []string) error {
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	out := fs.String("out", "zkml-calibration.json", "output path")
+	minK := fs.Int("min-k", 10, "smallest 2^k size to measure")
+	maxK := fs.Int("max-k", 14, "largest 2^k size to measure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("calibrating FFT/MSM/lookup/field-op costs for 2^%d..2^%d...\n", *minK, *maxK)
+	c := costmodel.Calibrate(*minK, *maxK)
+	if err := c.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("field op: %.1f ns\n", c.FieldOp*1e9)
+	for k := *minK; k <= *maxK; k++ {
+		fmt.Printf("  2^%d: fft %.3fms msm %.3fms lookup %.3fms\n",
+			k, c.FFT[k]*1000, c.MSM[k]*1000, c.Lookup[k]*1000)
+	}
+	fmt.Println("wrote", *out, "- set ZKML_CALIBRATION to reuse it")
+	return nil
+}

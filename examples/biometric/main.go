@@ -1,0 +1,131 @@
+// Private biometric authentication (paper §2): a user proves that the
+// embedding of their (private) face photo matches a previously enrolled
+// template under a committed embedding model, without revealing the photo
+// or the template. In production the photo would come from an attested
+// sensor; here the sensor feed is simulated.
+//
+//	go run ./examples/biometric
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/model"
+	"repro/zkml"
+)
+
+// buildMatcher constructs the verification model: an embedding CNN over the
+// probe image followed by a squared-distance comparison against the
+// enrolled template (baked into the committed weights), ending in a
+// sigmoid match score. Everything — probe, template, weights — stays
+// private; only the score is public.
+func buildMatcher(template []float64) *zkml.Graph {
+	g := &zkml.Graph{
+		Name:    "face-matcher",
+		Inputs:  []model.InputSpec{{Name: "probe", Shape: []int{6, 6, 1}, Kind: model.FloatInput}},
+		Weights: map[string]model.Weight{},
+		Outputs: []string{"score"},
+	}
+	// A small embedding CNN: conv -> relu -> flatten -> fc(4) -> tanh.
+	k := make([]float64, 3*3*1*2)
+	for i := range k {
+		k[i] = 0.4 * float64((i%5)-2) / 5
+	}
+	wf := make([]float64, 4*32)
+	for i := range wf {
+		wf[i] = 0.5 * float64((i%9)-4) / 9
+	}
+	g.Weights["k"] = model.Weight{Shape: []int{3, 3, 1, 2}, Data: k}
+	g.Weights["wf"] = model.Weight{Shape: []int{4, 32}, Data: wf}
+	g.Weights["template"] = model.Weight{Shape: []int{4}, Data: template}
+	// The enrolled template is subtracted through an identity FC with bias
+	// -t (d = I·e - t), then the mean squared distance drives a sigmoid:
+	// score = sigmoid(-4 · mean((e - t)^2)).
+	identity := []float64{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1}
+	negT := make([]float64, 4)
+	for i, v := range template {
+		negT[i] = -v
+	}
+	g.Weights["eye"] = model.Weight{Shape: []int{4, 4}, Data: identity}
+	g.Weights["negt"] = model.Weight{Shape: []int{4}, Data: negT}
+	g.Weights["wscore"] = model.Weight{Shape: []int{1, 1}, Data: []float64{-150}}
+	g.Weights["bscore"] = model.Weight{Shape: []int{1}, Data: []float64{3}}
+	g.Nodes = []model.Node{
+		{Op: "conv2d", Inputs: []string{"probe"}, Output: "c", Weight: "k", Stride: 1, Pad: "valid"},
+		{Op: "relu", Inputs: []string{"c"}, Output: "cr"},
+		{Op: "reshape", Inputs: []string{"cr"}, Output: "gapr", Shape: []int{1, 32}},
+		{Op: "fc", Inputs: []string{"gapr"}, Output: "empre", Weight: "wf"},
+		{Op: "tanh", Inputs: []string{"empre"}, Output: "emb"},
+		{Op: "identity", Inputs: []string{"emb"}, Output: "embr", Shape: []int{4}},
+		{Op: "reshape", Inputs: []string{"embr"}, Output: "e2", Shape: []int{1, 4}},
+		{Op: "fc", Inputs: []string{"e2"}, Output: "diff", Weight: "eye", Bias: "negt"},
+		{Op: "square", Inputs: []string{"diff"}, Output: "sq"},
+		{Op: "reduce_mean", Inputs: []string{"sq"}, Output: "dist"},
+		{Op: "reshape", Inputs: []string{"dist"}, Output: "dist2", Shape: []int{1, 1}},
+		// score = sigmoid(3 - 150*dist): ~0.95 at dist 0, ~0.5 at dist 0.02.
+		{Op: "fc", Inputs: []string{"dist2"}, Output: "logit", Weight: "wscore", Bias: "bscore"},
+		{Op: "sigmoid", Inputs: []string{"logit"}, Output: "score"},
+	}
+	return g
+}
+
+// capture simulates an attested-sensor photo: the genuine user's face
+// produces an embedding close to the template; an impostor's does not.
+func capture(genuine bool) *zkml.Input {
+	img := make([]float64, 36)
+	for i := range img {
+		if genuine {
+			img[i] = 0.9 * float64((i%6)-2) / 3
+		} else {
+			img[i] = -0.9 * float64((i%5)-1) / 2
+		}
+	}
+	return &zkml.Input{Floats: map[string][]float64{"probe": img}}
+}
+
+func main() {
+	// Enrollment: run the embedding on the genuine face once (outside the
+	// circuit) to fix the template, then commit the matcher.
+	enrollee := buildMatcher(make([]float64, 4))
+	ref, err := enrollee.RunFloat(capture(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	template := append([]float64(nil), ref["embr"].Data...)
+	matcher := buildMatcher(template)
+
+	sys, err := zkml.Compile(matcher, capture(true), zkml.Options{
+		ScaleBits: 6, LookupBits: 10, MaxCols: 14,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("service commits to matcher:", sys.Describe())
+
+	// Authentication: the genuine user proves a high match score.
+	proof, err := sys.Prove(capture(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Verify(proof); err != nil {
+		log.Fatal(err)
+	}
+	score := sys.Outputs(proof)[0]
+	fmt.Printf("genuine user: proven match score %.3f -> %v\n", score, score > 0.8)
+
+	// An impostor's photo yields a provably low score (they cannot forge a
+	// high one: the proof binds the score to the committed model).
+	proof2, err := sys.Prove(capture(false))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Verify(proof2); err != nil {
+		log.Fatal(err)
+	}
+	score2 := sys.Outputs(proof2)[0]
+	fmt.Printf("impostor:     proven match score %.3f -> %v\n", score2, score2 > 0.8)
+	if score > 0.8 && score2 < 0.8 {
+		fmt.Println("authentication works: access granted only to the enrolled face")
+	}
+}

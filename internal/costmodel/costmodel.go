@@ -1,0 +1,260 @@
+// Package costmodel implements ZKML's proving-cost estimator (paper §7.4):
+// a one-time hardware calibration of the four dominant operations — FFTs,
+// MSMs, lookup-argument construction, and raw field operations — plus the
+// paper's closed-form counts (equations (1) and (2)) that map a physical
+// circuit layout to a predicted proving time.
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/curve"
+	"repro/internal/ff"
+	"repro/internal/pcs"
+	"repro/internal/poly"
+)
+
+// Calibration holds measured per-operation costs for one hardware target.
+// Times are seconds for one operation at size 2^k; sizes outside the
+// measured range are extrapolated with the operation's asymptotic shape
+// (n·log n for FFTs, n/log n for Pippenger MSMs, n for the rest).
+type Calibration struct {
+	Hardware string          `json:"hardware"`
+	FFT      map[int]float64 `json:"fft"`
+	MSM      map[int]float64 `json:"msm"`
+	Lookup   map[int]float64 `json:"lookup"`
+	FieldOp  float64         `json:"field_op"` // one multiply-add
+}
+
+// Calibrate measures the four operation families at sizes 2^minK..2^maxK.
+// The paper performs this once per hardware configuration (§7.4).
+func Calibrate(minK, maxK int) *Calibration {
+	c := &Calibration{
+		Hardware: "local",
+		FFT:      map[int]float64{},
+		MSM:      map[int]float64{},
+		Lookup:   map[int]float64{},
+	}
+	for k := minK; k <= maxK; k++ {
+		n := 1 << uint(k)
+		d := poly.NewDomain(n)
+		p := make([]ff.Element, n)
+		for i := range p {
+			p[i] = ff.NewElement(uint64(i + 1))
+		}
+		start := time.Now()
+		d.FFT(p)
+		c.FFT[k] = time.Since(start).Seconds()
+
+		// MSM over a modest basis (timing scales linearly in practice).
+		g := curve.Generator()
+		pts := make([]curve.Affine, n)
+		scs := make([]ff.Element, n)
+		base := g
+		for i := range pts {
+			pts[i] = base
+			scs[i] = ff.NewElement(uint64(3*i + 7))
+		}
+		start = time.Now()
+		curve.MSM(pts, scs)
+		c.MSM[k] = time.Since(start).Seconds()
+
+		// Lookup helper construction ~ two batch inversions + products.
+		vals := make([]ff.Element, n)
+		for i := range vals {
+			vals[i] = ff.NewElement(uint64(i + 3))
+		}
+		start = time.Now()
+		ff.BatchInverse(vals)
+		ff.BatchInverse(vals)
+		c.Lookup[k] = time.Since(start).Seconds()
+	}
+	// Field multiply-add.
+	x, y := ff.NewElement(12345), ff.NewElement(67891)
+	var z ff.Element
+	start := time.Now()
+	const reps = 1 << 18
+	for i := 0; i < reps; i++ {
+		z.Mul(&x, &y)
+		z.Add(&z, &x)
+	}
+	c.FieldOp = time.Since(start).Seconds() / reps
+	return c
+}
+
+// DefaultCalibration calibrates over a small range quickly (used when no
+// cached calibration file exists).
+func DefaultCalibration() *Calibration { return Calibrate(10, 13) }
+
+// Save writes the calibration to a JSON file.
+func (c *Calibration) Save(path string) error {
+	b, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadCalibration reads a calibration file.
+func LoadCalibration(path string) (*Calibration, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Calibration
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("costmodel: parsing %s: %w", path, err)
+	}
+	return &c, nil
+}
+
+// LoadOrCalibrate loads a cached calibration or produces and caches one.
+func LoadOrCalibrate(path string) *Calibration {
+	if c, err := LoadCalibration(path); err == nil && len(c.FFT) > 0 {
+		return c
+	}
+	c := DefaultCalibration()
+	if path != "" {
+		_ = c.Save(path) // cache failures are non-fatal
+	}
+	return c
+}
+
+// interp looks up or extrapolates a per-size cost table using the given
+// asymptotic shape function.
+func interp(table map[int]float64, k int, shape func(k int) float64) float64 {
+	if t, ok := table[k]; ok {
+		return t
+	}
+	// Use the nearest measured k and scale by the shape ratio.
+	best, found := 0, false
+	for mk := range table {
+		if !found || abs(mk-k) < abs(best-k) {
+			best, found = mk, true
+		}
+	}
+	if !found {
+		return 0
+	}
+	return table[best] * shape(k) / shape(best)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TimeFFT returns the estimated seconds for one size-2^k FFT.
+func (c *Calibration) TimeFFT(k int) float64 {
+	return interp(c.FFT, k, func(k int) float64 { return float64(int64(1)<<uint(k)) * float64(k) })
+}
+
+// TimeMSM returns the estimated seconds for one size-2^k MSM.
+func (c *Calibration) TimeMSM(k int) float64 {
+	return interp(c.MSM, k, func(k int) float64 { return float64(int64(1)<<uint(k)) / math.Max(1, float64(k-3)) })
+}
+
+// TimeLookup returns the estimated seconds to construct one lookup argument
+// at 2^k rows.
+func (c *Calibration) TimeLookup(k int) float64 {
+	return interp(c.Lookup, k, func(k int) float64 { return float64(int64(1) << uint(k)) })
+}
+
+// Layout summarizes a physical circuit layout for cost estimation.
+type Layout struct {
+	K              int // log2 rows
+	NumInstance    int
+	NumAdvice      int
+	NumFixed       int
+	NumLookups     int
+	NumPermCols    int
+	DMax           int
+	NumConstraints int
+	ConstraintOps  int // total expression nodes across constraints
+	Backend        pcs.Backend
+}
+
+// NumFFT implements equation (2) of the paper:
+//
+//	n_FFT = N_i + N_a + 3·N_lk + (N_pm + d_max - 3)/(d_max - 2)
+func (l Layout) NumFFT() int {
+	d := l.DMax
+	if d < 3 {
+		d = 3
+	}
+	perm := 0
+	if l.NumPermCols > 0 {
+		perm = (l.NumPermCols + d - 3) / (d - 2)
+	}
+	return l.NumInstance + l.NumAdvice + 3*l.NumLookups + perm
+}
+
+// NumMSM follows the paper: n_FFT + d_max - 1 for KZG, n_FFT + d_max for
+// IPA (the extra terms are quotient-piece commitments and evaluation-proof
+// MSMs).
+func (l Layout) NumMSM() int {
+	n := l.NumFFT() + l.DMax - 1
+	if l.Backend == pcs.IPA {
+		n++
+	}
+	return n
+}
+
+// ExtK returns k' = k + ceil(log2(d_max - 1)): the extended-domain FFT size
+// for quotient computation.
+func (l Layout) ExtK() int {
+	e := 0
+	for (1 << uint(e)) < l.DMax {
+		e++
+	}
+	return l.K + e
+}
+
+// EstimateProvingTime implements equation (1) plus the residual terms: the
+// cost of the two FFT sizes, the MSMs, lookup-argument construction, and
+// the field operations evaluating every constraint over the extended
+// domain.
+func (c *Calibration) EstimateProvingTime(l Layout) float64 {
+	nFFT := float64(l.NumFFT())
+	nFFTExt := nFFT + 1
+	t := nFFT*c.TimeFFT(l.K) + nFFTExt*c.TimeFFT(l.ExtK())
+	t += float64(l.NumMSM()) * c.TimeMSM(l.K)
+	t += float64(l.NumLookups) * c.TimeLookup(l.K)
+	// Quotient evaluation: every constraint expression node is evaluated
+	// at every extended-domain point.
+	extN := float64(int64(1) << uint(l.ExtK()))
+	t += float64(l.ConstraintOps) * extN * c.FieldOp
+	return t
+}
+
+// EstimateProofSize returns the proof size in bytes for a layout:
+// commitments (advice + 2 per lookup + permutation chunks + quotient
+// pieces), evaluations, and the per-point opening proofs.
+func (l Layout) EstimateProofSize() int {
+	d := l.DMax
+	if d < 3 {
+		d = 3
+	}
+	chunks := 0
+	if l.NumPermCols > 0 {
+		chunks = (l.NumPermCols + d - 3) / (d - 2)
+	}
+	commits := l.NumAdvice + 2*l.NumLookups + chunks + (l.DMax - 1)
+	// Evaluations: one per advice/fixed/sigma query plus argument polys.
+	evals := l.NumAdvice + l.NumFixed + l.NumPermCols + 3*l.NumLookups + 2*chunks + (l.DMax - 1)
+	points := 3 // x, omega*x, omega^u*x
+	size := 32 * (commits + evals)
+	switch l.Backend {
+	case pcs.KZG:
+		size += 32 * points
+	case pcs.IPA:
+		size += points * (32 * (2*l.K + 1))
+	}
+	return size
+}

@@ -1,0 +1,82 @@
+package costmodel
+
+import (
+	"testing"
+
+	"repro/internal/pcs"
+)
+
+var calib = Calibrate(8, 10)
+
+func TestCalibrationPopulated(t *testing.T) {
+	if calib.FieldOp <= 0 {
+		t.Fatal("field op cost not measured")
+	}
+	for k := 8; k <= 10; k++ {
+		if calib.FFT[k] <= 0 || calib.MSM[k] <= 0 || calib.Lookup[k] <= 0 {
+			t.Fatalf("missing measurement at k=%d", k)
+		}
+	}
+}
+
+func TestInterpolationExtrapolates(t *testing.T) {
+	// k=14 is outside the measured range; the estimate must scale up from
+	// the nearest measured point following n log n.
+	t14 := calib.TimeFFT(14)
+	t10 := calib.TimeFFT(10)
+	if t14 <= t10 {
+		t.Fatalf("FFT extrapolation not increasing: %v vs %v", t14, t10)
+	}
+	// Roughly (2^14·14)/(2^10·10) = 22.4x.
+	ratio := t14 / t10
+	if ratio < 10 || ratio > 40 {
+		t.Fatalf("FFT extrapolation ratio %.1f implausible", ratio)
+	}
+	if calib.TimeMSM(14) <= calib.TimeMSM(10) {
+		t.Fatal("MSM extrapolation not increasing")
+	}
+	if calib.TimeLookup(14) <= calib.TimeLookup(10) {
+		t.Fatal("lookup extrapolation not increasing")
+	}
+}
+
+func TestMeasuredValuesUsedDirectly(t *testing.T) {
+	if calib.TimeFFT(9) != calib.FFT[9] {
+		t.Fatal("measured point should be returned verbatim")
+	}
+}
+
+func TestEstimateIncreasesWithEachFactor(t *testing.T) {
+	base := Layout{K: 10, NumInstance: 1, NumAdvice: 10, NumFixed: 12,
+		NumLookups: 4, NumPermCols: 11, DMax: 4, NumConstraints: 20,
+		ConstraintOps: 300, Backend: pcs.KZG}
+	t0 := calib.EstimateProvingTime(base)
+	for name, mod := range map[string]func(Layout) Layout{
+		"advice":  func(l Layout) Layout { l.NumAdvice *= 2; l.NumPermCols *= 2; return l },
+		"lookups": func(l Layout) Layout { l.NumLookups *= 2; return l },
+		"rows":    func(l Layout) Layout { l.K++; return l },
+		"ops":     func(l Layout) Layout { l.ConstraintOps *= 2; return l },
+	} {
+		if calib.EstimateProvingTime(mod(base)) <= t0 {
+			t.Fatalf("estimate not increasing in %s", name)
+		}
+	}
+}
+
+func TestProofSizeIPABiggerThanKZG(t *testing.T) {
+	l := Layout{K: 12, NumInstance: 1, NumAdvice: 10, NumFixed: 12,
+		NumLookups: 4, NumPermCols: 11, DMax: 4, Backend: pcs.KZG}
+	kzg := l.EstimateProofSize()
+	l.Backend = pcs.IPA
+	ipa := l.EstimateProofSize()
+	if ipa <= kzg {
+		t.Fatalf("IPA proof estimate %d not larger than KZG %d", ipa, kzg)
+	}
+}
+
+func TestEmptyTableInterp(t *testing.T) {
+	empty := &Calibration{FFT: map[int]float64{}, MSM: map[int]float64{}, Lookup: map[int]float64{}}
+	if empty.TimeFFT(10) != 0 {
+		t.Fatal("empty table should estimate zero")
+	}
+}

@@ -1,0 +1,93 @@
+package curve
+
+import (
+	"math/bits"
+
+	"repro/internal/ff"
+)
+
+// MSM computes the multi-scalar multiplication sum_i scalars[i] * points[i]
+// using Pippenger's bucket method. This is the dominant group-operation cost
+// in proving; the ZKML cost model calibrates t_MSM(2^k) against it.
+func MSM(points []Affine, scalars []ff.Element) Jac {
+	if len(points) != len(scalars) {
+		panic("curve: MSM length mismatch")
+	}
+	n := len(points)
+	if n == 0 {
+		return Jac{}
+	}
+	if n < 8 {
+		var acc Jac
+		for i := range points {
+			p := ScalarMul(&points[i], &scalars[i])
+			acc.AddAssign(&p)
+		}
+		return acc
+	}
+
+	c := windowSize(n)
+	const scalarBits = 254
+	numWindows := (scalarBits + c - 1) / c
+
+	// Convert scalars to canonical 4x64 limbs once.
+	limbed := make([][4]uint64, n)
+	for i := range scalars {
+		b := scalars[i].BigInt().Bits()
+		for j := 0; j < len(b) && j < 4; j++ {
+			limbed[i][j] = uint64(b[j])
+		}
+	}
+
+	windowDigit := func(l *[4]uint64, w int) uint64 {
+		bit := w * c
+		limb := bit >> 6
+		off := uint(bit & 63)
+		if limb >= 4 {
+			return 0
+		}
+		d := l[limb] >> off
+		if off+uint(c) > 64 && limb+1 < 4 {
+			d |= l[limb+1] << (64 - off)
+		}
+		return d & ((1 << uint(c)) - 1)
+	}
+
+	var total Jac
+	buckets := make([]Jac, (1<<uint(c))-1)
+	for w := numWindows - 1; w >= 0; w-- {
+		for i := 0; i < c; i++ {
+			total.Double()
+		}
+		for i := range buckets {
+			buckets[i] = Jac{}
+		}
+		for i := 0; i < n; i++ {
+			d := windowDigit(&limbed[i], w)
+			if d != 0 {
+				buckets[d-1].AddMixed(&points[i])
+			}
+		}
+		// Running-sum aggregation: sum_i i*bucket[i].
+		var running, windowSum Jac
+		for i := len(buckets) - 1; i >= 0; i-- {
+			running.AddAssign(&buckets[i])
+			windowSum.AddAssign(&running)
+		}
+		total.AddAssign(&windowSum)
+	}
+	return total
+}
+
+// windowSize picks the Pippenger window for n points (roughly log2(n) - 3,
+// clamped to a sane range).
+func windowSize(n int) int {
+	c := bits.Len(uint(n)) - 3
+	if c < 2 {
+		c = 2
+	}
+	if c > 16 {
+		c = 16
+	}
+	return c
+}

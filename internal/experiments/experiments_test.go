@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The quick config keeps each experiment to a couple of small models so the
+// full harness stays testable; the recorded EXPERIMENTS.md run uses
+// Default().
+
+func TestTable5(t *testing.T) {
+	cfg := Quick()
+	tb, err := Table5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(tb.Rows))
+	}
+	if !strings.Contains(tb.String(), "mnist") {
+		t.Fatal("rendering missing model")
+	}
+}
+
+func TestTable6Quick(t *testing.T) {
+	cfg := Quick()
+	cfg.Models = []string{"dlrm-micro"}
+	tb, err := Table6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatal("expected one row")
+	}
+}
+
+func TestTable8Quick(t *testing.T) {
+	cfg := Quick()
+	cfg.Models = []string{"mnist"}
+	cfg.AccuracySamples = 4
+	tb, err := Table8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatal("expected one row")
+	}
+}
+
+func TestTable13Quick(t *testing.T) {
+	tb, err := Table13(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("expected 4 variants, got %d", len(tb.Rows))
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	if got := kendallTau([]float64{1, 2, 3}, []float64{10, 20, 30}); got != 1 {
+		t.Fatalf("perfect agreement tau = %v", got)
+	}
+	if got := kendallTau([]float64{1, 2, 3}, []float64{30, 20, 10}); got != -1 {
+		t.Fatalf("perfect disagreement tau = %v", got)
+	}
+	if got := kendallTau([]float64{1}, []float64{2}); got != 1 {
+		t.Fatalf("degenerate tau = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "X", Title: "test", Header: []string{"a", "bbbb"},
+		Rows: [][]string{{"1", "2"}, {"333", "4"}}, Notes: []string{"n"}}
+	s := tb.String()
+	for _, want := range []string{"== X: test ==", "333", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

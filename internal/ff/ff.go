@@ -1,0 +1,273 @@
+// Package ff implements the BN254 scalar field Fr, the field over which all
+// circuit values live. Fr is NTT-friendly: r - 1 = 2^28 · odd, so
+// multiplicative subgroups of size up to 2^28 exist, matching the largest
+// circuits supported by the perpetual-powers-of-tau setup the paper uses.
+package ff
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"repro/internal/limbs"
+)
+
+// ModulusDec is the BN254 scalar field modulus r in decimal.
+const ModulusDec = "21888242871839275222246405745257275088548364400416034343698204186575808495617"
+
+// TwoAdicity is s where r - 1 = 2^s * odd.
+const TwoAdicity = 28
+
+var (
+	mod = limbs.NewModulus(ModulusDec)
+
+	// rootOfUnity is a generator of the order-2^TwoAdicity subgroup,
+	// in Montgomery form.
+	rootOfUnity limbs.Limbs
+
+	// multiplicativeGen is a fixed element of large order used to build
+	// distinct cosets for the permutation argument (Montgomery form).
+	multiplicativeGen limbs.Limbs
+)
+
+func init() {
+	// Find an element of order exactly 2^TwoAdicity: for candidates c =
+	// 2, 3, ..., compute w = c^((r-1)/2^s); w has order dividing 2^s and
+	// order exactly 2^s iff w^(2^(s-1)) != 1.
+	exp := new(big.Int).Sub(mod.Big, big.NewInt(1))
+	exp.Rsh(exp, TwoAdicity)
+	for c := int64(2); ; c++ {
+		cand := NewElement(uint64(c))
+		var w Element
+		mod.Exp(&w.l, &cand.l, exp)
+		chk := w
+		for i := 0; i < TwoAdicity-1; i++ {
+			chk.Square(&chk)
+		}
+		if !chk.IsOne() {
+			rootOfUnity = w.l
+			break
+		}
+	}
+	// 5 is the conventional multiplicative generator for BN254 Fr; the
+	// permutation argument only needs its cosets δ^i·H to be pairwise
+	// disjoint for small i, which holds for any non-subgroup element.
+	multiplicativeGen = NewElement(5).l
+}
+
+// Element is an Fr element stored in Montgomery form.
+type Element struct {
+	l limbs.Limbs
+}
+
+// Modulus returns the field modulus as a new big.Int.
+func Modulus() *big.Int { return new(big.Int).Set(mod.Big) }
+
+// NewElement returns v as a field element.
+func NewElement(v uint64) Element {
+	var e Element
+	e.SetUint64(v)
+	return e
+}
+
+// NewInt64 returns v as a field element; negative values map to r - |v|.
+func NewInt64(v int64) Element {
+	if v >= 0 {
+		return NewElement(uint64(v))
+	}
+	var e Element
+	e.SetUint64(uint64(-v))
+	e.Neg(&e)
+	return e
+}
+
+// Zero returns the additive identity.
+func Zero() Element { return Element{} }
+
+// One returns the multiplicative identity.
+func One() Element { return Element{l: mod.R} }
+
+// SetUint64 sets z to v and returns z.
+func (z *Element) SetUint64(v uint64) *Element {
+	z.l = limbs.Limbs{v}
+	mod.MontMul(&z.l, &z.l, &mod.R2)
+	return z
+}
+
+// SetBigInt sets z to v mod r and returns z.
+func (z *Element) SetBigInt(v *big.Int) *Element {
+	z.l = mod.FromBig(v)
+	mod.MontMul(&z.l, &z.l, &mod.R2)
+	return z
+}
+
+// BigInt returns the canonical (non-Montgomery) value of z.
+func (z *Element) BigInt() *big.Int {
+	var out limbs.Limbs
+	one := limbs.Limbs{1}
+	mod.MontMul(&out, &z.l, &one)
+	return limbs.ToBig(&out)
+}
+
+// Int64 returns the value of z interpreted as a signed integer: values in
+// [0, r/2) map to themselves, values in [r/2, r) map to negatives. Panics if
+// the magnitude exceeds int64 range; circuit values are always small.
+func (z *Element) Int64() int64 {
+	v := z.BigInt()
+	half := new(big.Int).Rsh(mod.Big, 1)
+	if v.Cmp(half) > 0 {
+		v.Sub(v, mod.Big)
+	}
+	if !v.IsInt64() {
+		panic(fmt.Sprintf("ff: element %s out of int64 range", v))
+	}
+	return v.Int64()
+}
+
+// SetRandom sets z to a uniformly random field element.
+func (z *Element) SetRandom() *Element {
+	v, err := rand.Int(rand.Reader, mod.Big)
+	if err != nil {
+		panic(err) // crypto/rand failure is unrecoverable
+	}
+	return z.SetBigInt(v)
+}
+
+// Random returns a uniformly random element.
+func Random() Element {
+	var e Element
+	e.SetRandom()
+	return e
+}
+
+// Arithmetic. All methods follow the math/big convention: z.Op(x, y) sets
+// z = x op y and returns z, and aliasing of arguments is allowed.
+
+// Add sets z = x + y.
+func (z *Element) Add(x, y *Element) *Element { mod.Add(&z.l, &x.l, &y.l); return z }
+
+// Sub sets z = x - y.
+func (z *Element) Sub(x, y *Element) *Element { mod.Sub(&z.l, &x.l, &y.l); return z }
+
+// Mul sets z = x * y.
+func (z *Element) Mul(x, y *Element) *Element { mod.MontMul(&z.l, &x.l, &y.l); return z }
+
+// Square sets z = x^2.
+func (z *Element) Square(x *Element) *Element { mod.MontSquare(&z.l, &x.l); return z }
+
+// Double sets z = 2x.
+func (z *Element) Double(x *Element) *Element { mod.Double(&z.l, &x.l); return z }
+
+// Neg sets z = -x.
+func (z *Element) Neg(x *Element) *Element { mod.Neg(&z.l, &x.l); return z }
+
+// Inverse sets z = x^{-1}; panics on zero.
+func (z *Element) Inverse(x *Element) *Element { mod.Inverse(&z.l, &x.l); return z }
+
+// Exp sets z = x^e.
+func (z *Element) Exp(x *Element, e *big.Int) *Element {
+	if e.Sign() < 0 {
+		var inv Element
+		inv.Inverse(x)
+		return z.Exp(&inv, new(big.Int).Neg(e))
+	}
+	mod.Exp(&z.l, &x.l, e)
+	return z
+}
+
+// ExpUint64 sets z = x^e for small exponents.
+func (z *Element) ExpUint64(x *Element, e uint64) *Element {
+	return z.Exp(x, new(big.Int).SetUint64(e))
+}
+
+// IsZero reports whether z == 0.
+func (z *Element) IsZero() bool { return limbs.IsZero(&z.l) }
+
+// IsOne reports whether z == 1.
+func (z *Element) IsOne() bool { return limbs.Equal(&z.l, &mod.R) }
+
+// Equal reports whether z == x.
+func (z *Element) Equal(x *Element) bool { return limbs.Equal(&z.l, &x.l) }
+
+// Bytes returns the canonical 32-byte big-endian encoding.
+func (z Element) Bytes() [32]byte {
+	var out [32]byte
+	b := z.BigInt().Bytes()
+	copy(out[32-len(b):], b)
+	return out
+}
+
+// SetBytes sets z from a 32-byte big-endian encoding (reduced mod r).
+func (z *Element) SetBytes(b []byte) *Element {
+	return z.SetBigInt(new(big.Int).SetBytes(b))
+}
+
+// String renders the canonical value in decimal, using a compact signed form
+// for values near the modulus (handy when debugging fixed-point circuits).
+func (z Element) String() string {
+	v := z.BigInt()
+	half := new(big.Int).Rsh(mod.Big, 1)
+	if v.Cmp(half) > 0 {
+		v.Sub(v, mod.Big)
+	}
+	return v.String()
+}
+
+// RootOfUnity returns a primitive 2^logN-th root of unity. Panics if
+// logN > TwoAdicity.
+func RootOfUnity(logN int) Element {
+	if logN > TwoAdicity {
+		panic(fmt.Sprintf("ff: no 2^%d-th root of unity (2-adicity %d)", logN, TwoAdicity))
+	}
+	w := Element{l: rootOfUnity}
+	for i := TwoAdicity; i > logN; i-- {
+		w.Square(&w)
+	}
+	return w
+}
+
+// MultiplicativeGen returns δ, used for permutation-argument coset ids.
+func MultiplicativeGen() Element { return Element{l: multiplicativeGen} }
+
+// BatchInverse inverts all elements of v in place using Montgomery's trick
+// (a single field inversion plus 3(n-1) multiplications). Zero entries are
+// left as zero.
+func BatchInverse(v []Element) {
+	n := len(v)
+	if n == 0 {
+		return
+	}
+	prefix := make([]Element, n)
+	acc := One()
+	for i, x := range v {
+		prefix[i] = acc
+		if !x.IsZero() {
+			acc.Mul(&acc, &x)
+		}
+	}
+	var inv Element
+	inv.Inverse(&acc)
+	for i := n - 1; i >= 0; i-- {
+		if v[i].IsZero() {
+			continue
+		}
+		var tmp Element
+		tmp.Mul(&inv, &prefix[i])
+		inv.Mul(&inv, &v[i])
+		v[i] = tmp
+	}
+}
+
+// HashToField maps arbitrary bytes to a field element (for Fiat-Shamir).
+// It widens to 64 bytes before reduction so the output is statistically
+// uniform.
+func HashToField(b []byte) Element {
+	// The caller supplies hash output; widen deterministically.
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(len(b)))
+	wide := new(big.Int).SetBytes(append(append([]byte{}, b...), buf[:]...))
+	var e Element
+	e.SetBigInt(wide)
+	return e
+}

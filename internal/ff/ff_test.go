@@ -1,0 +1,266 @@
+package ff
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func bigOf(e Element) *big.Int { return e.BigInt() }
+
+func fromBig(v *big.Int) Element {
+	var e Element
+	e.SetBigInt(v)
+	return e
+}
+
+// randPair generates two random elements via quick's int64 seeds plus real
+// randomness for coverage of the full range.
+func TestAddMatchesBigInt(t *testing.T) {
+	m := Modulus()
+	f := func(a, b uint64) bool {
+		x, y := NewElement(a), NewElement(b)
+		var z Element
+		z.Add(&x, &y)
+		want := new(big.Int).Add(big.NewInt(0).SetUint64(a), big.NewInt(0).SetUint64(b))
+		want.Mod(want, m)
+		return bigOf(z).Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatchesBigInt(t *testing.T) {
+	m := Modulus()
+	for i := 0; i < 200; i++ {
+		x, y := Random(), Random()
+		var z Element
+		z.Mul(&x, &y)
+		want := new(big.Int).Mul(bigOf(x), bigOf(y))
+		want.Mod(want, m)
+		if bigOf(z).Cmp(want) != 0 {
+			t.Fatalf("mul mismatch: %s * %s", bigOf(x), bigOf(y))
+		}
+	}
+}
+
+func TestSubNegRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		x, y := Random(), Random()
+		var d, n, s Element
+		d.Sub(&x, &y)
+		n.Neg(&y)
+		s.Add(&x, &n)
+		if !d.Equal(&s) {
+			t.Fatalf("x-y != x+(-y)")
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		x := Random()
+		if x.IsZero() {
+			continue
+		}
+		var inv, p Element
+		inv.Inverse(&x)
+		p.Mul(&x, &inv)
+		if !p.IsOne() {
+			t.Fatalf("x * x^-1 != 1 for %s", x)
+		}
+	}
+}
+
+func TestInverseZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inverse of zero")
+		}
+	}()
+	z := Zero()
+	var out Element
+	out.Inverse(&z)
+}
+
+func TestSquareMatchesMul(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		x := Random()
+		var s, m Element
+		s.Square(&x)
+		m.Mul(&x, &x)
+		if !s.Equal(&m) {
+			t.Fatal("square != mul")
+		}
+	}
+}
+
+func TestExp(t *testing.T) {
+	x := NewElement(3)
+	var z Element
+	z.ExpUint64(&x, 5)
+	if bigOf(z).Cmp(big.NewInt(243)) != 0 {
+		t.Fatalf("3^5 = %s, want 243", bigOf(z))
+	}
+	// Fermat: x^(r-1) == 1.
+	y := Random()
+	e := new(big.Int).Sub(Modulus(), big.NewInt(1))
+	z.Exp(&y, e)
+	if !z.IsOne() {
+		t.Fatal("x^(r-1) != 1")
+	}
+}
+
+func TestInt64SignedRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		e := NewInt64(v)
+		return e.Int64() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		x := Random()
+		b := x.Bytes()
+		var y Element
+		y.SetBytes(b[:])
+		if !x.Equal(&y) {
+			t.Fatal("bytes round trip failed")
+		}
+	}
+}
+
+func TestRootOfUnity(t *testing.T) {
+	for _, logN := range []int{1, 2, 5, 10, 20, TwoAdicity} {
+		w := RootOfUnity(logN)
+		var z Element
+		z.Exp(&w, new(big.Int).Lsh(big.NewInt(1), uint(logN)))
+		if !z.IsOne() {
+			t.Fatalf("w^(2^%d) != 1", logN)
+		}
+		// Primitive: w^(2^(logN-1)) != 1.
+		z.Exp(&w, new(big.Int).Lsh(big.NewInt(1), uint(logN-1)))
+		if z.IsOne() {
+			t.Fatalf("root of unity for 2^%d not primitive", logN)
+		}
+	}
+}
+
+func TestRootOfUnityTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RootOfUnity(TwoAdicity + 1)
+}
+
+func TestBatchInverse(t *testing.T) {
+	v := make([]Element, 37)
+	orig := make([]Element, len(v))
+	for i := range v {
+		if i%7 == 3 {
+			v[i] = Zero()
+		} else {
+			v[i] = Random()
+		}
+		orig[i] = v[i]
+	}
+	BatchInverse(v)
+	for i := range v {
+		if orig[i].IsZero() {
+			if !v[i].IsZero() {
+				t.Fatalf("zero entry %d modified", i)
+			}
+			continue
+		}
+		var p Element
+		p.Mul(&orig[i], &v[i])
+		if !p.IsOne() {
+			t.Fatalf("entry %d not inverted", i)
+		}
+	}
+}
+
+func TestBatchInverseEmpty(t *testing.T) {
+	BatchInverse(nil) // must not panic
+}
+
+func TestMulCommutativeAssociativeDistributive(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := NewElement(a), NewElement(b), NewElement(c)
+		var ab, ba Element
+		ab.Mul(&x, &y)
+		ba.Mul(&y, &x)
+		if !ab.Equal(&ba) {
+			return false
+		}
+		var abc1, abc2, bc Element
+		abc1.Mul(&ab, &z)
+		bc.Mul(&y, &z)
+		abc2.Mul(&x, &bc)
+		if !abc1.Equal(&abc2) {
+			return false
+		}
+		// a*(b+c) == a*b + a*c
+		var sum, lhs, ac, rhs Element
+		sum.Add(&y, &z)
+		lhs.Mul(&x, &sum)
+		ac.Mul(&x, &z)
+		rhs.Add(&ab, &ac)
+		return lhs.Equal(&rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplicativeGenCosets(t *testing.T) {
+	// δ^i · H must be distinct cosets for small i: check δ^i is not in the
+	// order-2^k subgroup for i = 1..64 and k = 10.
+	n := new(big.Int).Lsh(big.NewInt(1), 10)
+	d := MultiplicativeGen()
+	acc := One()
+	for i := 1; i <= 64; i++ {
+		acc.Mul(&acc, &d)
+		var z Element
+		z.Exp(&acc, n)
+		if z.IsOne() {
+			t.Fatalf("δ^%d lies in the subgroup", i)
+		}
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := Random(), Random()
+	var z Element
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Mul(&x, &y)
+	}
+	_ = z
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := Random(), Random()
+	var z Element
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Add(&x, &y)
+	}
+	_ = z
+}
+
+func BenchmarkInverse(b *testing.B) {
+	x := Random()
+	var z Element
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Inverse(&x)
+	}
+	_ = z
+}

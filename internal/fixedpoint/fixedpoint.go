@@ -1,0 +1,205 @@
+// Package fixedpoint implements the fixed-point numeric semantics ZKML uses
+// inside circuits: all tensor values are integers at a global scale factor
+// SF = 2^ScaleBits chosen by the optimizer, with round-to-nearest rescaling
+// after multiplications and divisions. The witness generator and the
+// in-circuit gadgets share these exact semantics, so the fixed-point
+// interpreter is a bit-exact model of the circuit (the property Table 8 of
+// the paper measures).
+package fixedpoint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params fixes the numeric format of a compiled circuit.
+type Params struct {
+	// ScaleBits sets the scale factor SF = 2^ScaleBits.
+	ScaleBits int
+	// LookupBits sets the lookup-table input range: table inputs span
+	// [-2^(LookupBits-1), 2^(LookupBits-1)). The table has 2^LookupBits
+	// rows, which lower-bounds the grid size — the coupling between
+	// precision and grid size the paper's optimizer exploits.
+	LookupBits int
+}
+
+// SF returns the scale factor.
+func (p Params) SF() int64 { return 1 << uint(p.ScaleBits) }
+
+// HalfRange returns 2^(LookupBits-1), the magnitude bound on lookup inputs.
+func (p Params) HalfRange() int64 { return 1 << uint(p.LookupBits-1) }
+
+// TableSize returns the lookup table row count, 2^LookupBits.
+func (p Params) TableSize() int { return 1 << uint(p.LookupBits) }
+
+// MaxFloat returns the largest representable activation magnitude.
+func (p Params) MaxFloat() float64 { return float64(p.HalfRange()) / float64(p.SF()) }
+
+// Validate checks the parameters are usable.
+func (p Params) Validate() error {
+	if p.ScaleBits < 1 || p.ScaleBits > 24 {
+		return fmt.Errorf("fixedpoint: ScaleBits %d out of range [1,24]", p.ScaleBits)
+	}
+	if p.LookupBits <= p.ScaleBits {
+		return fmt.Errorf("fixedpoint: LookupBits %d must exceed ScaleBits %d", p.LookupBits, p.ScaleBits)
+	}
+	if p.LookupBits > 26 {
+		return fmt.Errorf("fixedpoint: LookupBits %d too large", p.LookupBits)
+	}
+	return nil
+}
+
+// Quantize converts a float to fixed point (round to nearest).
+func (p Params) Quantize(f float64) int64 {
+	return int64(math.RoundToEven(f * float64(p.SF())))
+}
+
+// Dequantize converts fixed point back to float.
+func (p Params) Dequantize(v int64) float64 {
+	return float64(v) / float64(p.SF())
+}
+
+// DivRound computes Round(b/a) with floor semantics on the shifted
+// numerator: Round(b/a) = floor((2b+a)/(2a)), exactly as the in-circuit
+// DivRound gadget does (paper §5, variable division).
+func DivRound(b, a int64) int64 {
+	if a <= 0 {
+		panic(fmt.Sprintf("fixedpoint: DivRound divisor %d must be positive", a))
+	}
+	return floorDiv(2*b+a, 2*a)
+}
+
+// Rescale divides a double-scale product back to single scale.
+func (p Params) Rescale(v int64) int64 { return DivRound(v, p.SF()) }
+
+// MulRescale multiplies two fixed-point values and rescales.
+func (p Params) MulRescale(a, b int64) int64 { return p.Rescale(a * b) }
+
+// floorDiv is integer division rounding toward negative infinity (matching
+// the field-level decomposition b = c*a + r with r in [0, a)).
+func floorDiv(b, a int64) int64 {
+	q := b / a
+	if b%a != 0 && (b < 0) != (a < 0) {
+		q--
+	}
+	return q
+}
+
+// FloorDiv exposes floorDiv for gadget witness computation.
+func FloorDiv(b, a int64) int64 { return floorDiv(b, a) }
+
+// Rem returns the remainder r = b - a*FloorDiv(b, a), always in [0, a) for
+// positive a.
+func Rem(b, a int64) int64 { return b - a*floorDiv(b, a) }
+
+// InRange reports whether v lies within the lookup-table input range.
+func (p Params) InRange(v int64) bool {
+	return v >= -p.HalfRange() && v < p.HalfRange()
+}
+
+// Clamp saturates v to the representable range (used by the interpreter for
+// out-of-range intermediate values; the circuit instead rejects them).
+func (p Params) Clamp(v int64) int64 {
+	if v < -p.HalfRange() {
+		return -p.HalfRange()
+	}
+	if v >= p.HalfRange() {
+		return p.HalfRange() - 1
+	}
+	return v
+}
+
+// Nonlinearity is a pointwise function realized as a lookup table.
+type Nonlinearity string
+
+// The nonlinearity catalog (paper §5: "pointwise non-linearities ... ReLU,
+// ELU, sigmoid, exponential, and tanh" plus the extras modern models need).
+const (
+	ReLU      Nonlinearity = "relu"
+	ReLU6     Nonlinearity = "relu6"
+	LeakyReLU Nonlinearity = "leaky_relu"
+	ELU       Nonlinearity = "elu"
+	GELU      Nonlinearity = "gelu"
+	Sigmoid   Nonlinearity = "sigmoid"
+	Tanh      Nonlinearity = "tanh"
+	Exp       Nonlinearity = "exp"
+	Softplus  Nonlinearity = "softplus"
+	SiLU      Nonlinearity = "silu"
+	Sqrt      Nonlinearity = "sqrt"
+	Rsqrt     Nonlinearity = "rsqrt"
+	Recip     Nonlinearity = "recip"
+	Erf       Nonlinearity = "erf"
+	Square    Nonlinearity = "square_nl"
+)
+
+// Float evaluates the nonlinearity on a float input.
+func (nl Nonlinearity) Float(x float64) float64 {
+	switch nl {
+	case ReLU:
+		return math.Max(0, x)
+	case ReLU6:
+		return math.Min(math.Max(0, x), 6)
+	case LeakyReLU:
+		if x >= 0 {
+			return x
+		}
+		return 0.01 * x
+	case ELU:
+		if x >= 0 {
+			return x
+		}
+		return math.Exp(x) - 1
+	case GELU:
+		return 0.5 * x * (1 + math.Erf(x/math.Sqrt2))
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	case Exp:
+		return math.Exp(x)
+	case Softplus:
+		return math.Log1p(math.Exp(x))
+	case SiLU:
+		return x / (1 + math.Exp(-x))
+	case Sqrt:
+		if x <= 0 {
+			return 0
+		}
+		return math.Sqrt(x)
+	case Rsqrt:
+		if x <= 0 {
+			return 0
+		}
+		return 1 / math.Sqrt(x)
+	case Recip:
+		if x == 0 {
+			return 0
+		}
+		return 1 / x
+	case Erf:
+		return math.Erf(x)
+	case Square:
+		return x * x
+	}
+	panic(fmt.Sprintf("fixedpoint: unknown nonlinearity %q", nl))
+}
+
+// Fixed evaluates the nonlinearity in fixed point exactly as the lookup
+// table does: dequantize, evaluate, re-quantize, clamp to the output range.
+func (p Params) Fixed(nl Nonlinearity, v int64) int64 {
+	f := nl.Float(p.Dequantize(v))
+	q := p.Quantize(f)
+	return p.Clamp(q)
+}
+
+// Table materializes the lookup table for a nonlinearity: entry i holds
+// f((i - 2^(LookupBits-1)) / SF) at scale SF. The table input column holds
+// the shifted index i, so in-circuit inputs are looked up as v + HalfRange.
+func (p Params) Table(nl Nonlinearity) []int64 {
+	size := p.TableSize()
+	out := make([]int64, size)
+	for i := 0; i < size; i++ {
+		out[i] = p.Fixed(nl, int64(i)-p.HalfRange())
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func params() Params { return Params{ScaleBits: 8, LookupBits: 14} }
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	p := params()
+	f := func(v int16) bool {
+		x := float64(v) / 1000
+		q := p.Quantize(x)
+		return math.Abs(p.Dequantize(q)-x) <= 1.0/float64(p.SF())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivRoundMatchesFloat(t *testing.T) {
+	f := func(b int32, a uint16) bool {
+		den := int64(a%1000) + 1
+		got := DivRound(int64(b), den)
+		want := math.Floor(float64(b)/float64(den) + 0.5)
+		return float64(got) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivRoundNegativeDivisorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DivRound(5, 0)
+}
+
+func TestFloorDivRemInvariant(t *testing.T) {
+	// b == a*FloorDiv(b,a) + Rem(b,a) with 0 <= Rem < a.
+	f := func(b int32, a uint16) bool {
+		den := int64(a%997) + 1
+		q, r := FloorDiv(int64(b), den), Rem(int64(b), den)
+		return int64(b) == den*q+r && r >= 0 && r < den
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRescaleIsMulInverse(t *testing.T) {
+	p := params()
+	f := func(v int16) bool {
+		x := int64(v)
+		// Rescale(x * SF) == x exactly.
+		return p.Rescale(x*p.SF()) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulRescaleCommutes(t *testing.T) {
+	p := params()
+	f := func(a, b int8) bool {
+		return p.MulRescale(int64(a), int64(b)) == p.MulRescale(int64(b), int64(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampAndInRange(t *testing.T) {
+	p := params()
+	hr := p.HalfRange()
+	if p.Clamp(hr) != hr-1 || p.Clamp(-hr-1) != -hr || p.Clamp(5) != 5 {
+		t.Fatal("clamp boundaries wrong")
+	}
+	if p.InRange(hr) || !p.InRange(hr-1) || !p.InRange(-hr) || p.InRange(-hr-1) {
+		t.Fatal("InRange boundaries wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{ScaleBits: 0, LookupBits: 10},
+		{ScaleBits: 25, LookupBits: 26},
+		{ScaleBits: 10, LookupBits: 10},
+		{ScaleBits: 10, LookupBits: 30},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Fatalf("params %+v should be invalid", p)
+		}
+	}
+	if (Params{ScaleBits: 8, LookupBits: 14}).Validate() != nil {
+		t.Fatal("valid params rejected")
+	}
+}
+
+func TestNonlinearityMonotonicity(t *testing.T) {
+	// Sigmoid, tanh, relu, gelu, exp, softplus, silu are non-decreasing on
+	// our range; the fixed-point tables must be too (up to clamping).
+	p := params()
+	for _, nl := range []Nonlinearity{ReLU, Sigmoid, Tanh, Exp, Softplus} {
+		tbl := p.Table(nl)
+		for i := 1; i < len(tbl); i++ {
+			if tbl[i] < tbl[i-1] {
+				t.Fatalf("%s table decreases at %d: %d -> %d", nl, i, tbl[i-1], tbl[i])
+			}
+		}
+	}
+}
+
+func TestReLUFixedExact(t *testing.T) {
+	p := params()
+	for _, v := range []int64{-100, -1, 0, 1, 100} {
+		want := v
+		if v < 0 {
+			want = 0
+		}
+		if got := p.Fixed(ReLU, v); got != want {
+			t.Fatalf("relu(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestTableShiftConvention(t *testing.T) {
+	// Table entry i corresponds to input i - HalfRange; entry at
+	// HalfRange is f(0).
+	p := params()
+	tbl := p.Table(Sigmoid)
+	mid := tbl[p.HalfRange()]
+	if mid != p.Quantize(0.5) {
+		t.Fatalf("sigmoid(0) table entry = %d, want %d", mid, p.Quantize(0.5))
+	}
+}
+
+func TestAllNonlinearitiesFinite(t *testing.T) {
+	p := params()
+	for _, nl := range []Nonlinearity{ReLU, ReLU6, LeakyReLU, ELU, GELU,
+		Sigmoid, Tanh, Exp, Softplus, SiLU, Sqrt, Rsqrt, Recip, Erf, Square} {
+		tbl := p.Table(nl)
+		if len(tbl) != p.TableSize() {
+			t.Fatalf("%s table size %d", nl, len(tbl))
+		}
+		for i, v := range tbl {
+			if !p.InRange(v) && v != p.HalfRange()-1 && v != -p.HalfRange() {
+				t.Fatalf("%s entry %d out of range: %d", nl, i, v)
+			}
+		}
+	}
+}
+
+func TestUnknownNonlinearityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Nonlinearity("bogus").Float(1)
+}

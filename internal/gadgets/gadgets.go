@@ -1,0 +1,207 @@
+// Package gadgets implements ZKML's gadget library (paper §5): low-level
+// constraint templates — arithmetic ops, dot products, variable division,
+// max, pointwise non-linearities via lookup tables, bit-decomposition
+// baselines, and multi-row variants — plus the Builder that lays gadget
+// invocations out into a Plonkish grid row by row.
+//
+// Every gadget follows the paper's single-row design by default: each
+// constraint spans one row; each row is owned by exactly one gadget kind,
+// signalled by that kind's selector column. Many gadgets have multiple
+// interchangeable implementations (e.g. pairwise add as a dedicated gate or
+// routed through the dot-product gadget; ReLU as a lookup or as a bit
+// decomposition); the optimizer chooses among them per model.
+package gadgets
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fixedpoint"
+)
+
+// Kind names a gadget (one selector column each).
+type Kind string
+
+// The gadget catalog.
+const (
+	KindIO           Kind = "io" // unconstrained witness cells (inputs)
+	KindAdd          Kind = "add"
+	KindSub          Kind = "sub"
+	KindMul          Kind = "mul" // raw product, no rescale
+	KindSquare       Kind = "square"
+	KindSqDiff       Kind = "sqdiff"
+	KindSum          Kind = "sum"
+	KindDot          Kind = "dot"
+	KindDotBias      Kind = "dot_bias"
+	KindDotConst     Kind = "dot_const"      // weights in parallel fixed columns
+	KindDotBiasConst Kind = "dot_bias_const" // weights + bias in fixed columns
+	KindMulC         Kind = "mulc"           // multiply by per-row constant
+	KindDivRound     Kind = "divround"       // rounded division by per-row constant
+	KindVarDiv       Kind = "vardiv"         // rounded division by witness value
+	KindDivFloor     Kind = "divfloor"       // floor division by witness value
+	KindMax          Kind = "max"
+	KindRange        Kind = "range"
+	KindReluDecomp   Kind = "relu_decomp" // bit-decomposition ReLU (baseline)
+	KindAddMR        Kind = "add_mr"      // multi-row variants (Table 13)
+	KindMaxMR        Kind = "max_mr"
+	KindDotMR        Kind = "dot_mr"
+)
+
+// NLKind returns the gadget kind for a pointwise nonlinearity lookup.
+func NLKind(nl fixedpoint.Nonlinearity) Kind { return Kind("nl_" + string(nl)) }
+
+// DotStrategy selects how large dot products are aggregated (paper §5.2).
+type DotStrategy string
+
+const (
+	// DotBias chains partial dot products through the bias slot.
+	DotBias DotStrategy = "bias"
+	// DotSum aggregates partial dot products with the sum gadget.
+	DotSum DotStrategy = "sum"
+)
+
+// ArithStrategy selects how elementwise arithmetic is implemented.
+type ArithStrategy string
+
+const (
+	// ArithDedicated uses dedicated add/sub/mul/square gates (many ops per
+	// row).
+	ArithDedicated ArithStrategy = "dedicated"
+	// ArithViaDot routes every arithmetic op through the dot-product
+	// gadget (one op per row; the "fixed gadget set" ablation of Table 11).
+	ArithViaDot ArithStrategy = "viadot"
+)
+
+// ReLUStrategy selects the ReLU implementation.
+type ReLUStrategy string
+
+const (
+	// ReLULookup uses a 2-cell lookup (paper §3, second representation).
+	ReLULookup ReLUStrategy = "lookup"
+	// ReLUDecomp uses the b+2-cell bit decomposition prior work uses
+	// (paper §3, first representation; the BaselineCNN prover).
+	ReLUDecomp ReLUStrategy = "decomp"
+)
+
+// RowMode selects single-row or multi-row gate layouts (Table 13).
+type RowMode string
+
+const (
+	// RowSingle uses single-row constraints (ZKML's default).
+	RowSingle RowMode = "single"
+	// RowMulti uses two-row variants of the adder, max, and dot gadgets.
+	RowMulti RowMode = "multi"
+)
+
+// Config is a logical layout: the gadget strategy choices plus the physical
+// column count and numeric format.
+type Config struct {
+	NumCols int // advice columns
+	FP      fixedpoint.Params
+	Dot     DotStrategy
+	Arith   ArithStrategy
+	ReLU    ReLUStrategy
+	Rows    RowMode
+	// UseConstDot enables the fixed-column weight variants of the dot
+	// gadget (dot_const / dot_bias_const), ZKML's optimized
+	// implementation for linear layers with constant weights.
+	UseConstDot bool
+	// MultiAdd / MultiMax / MultiDot selectively switch one gadget to its
+	// two-row variant (the per-gadget rows of Table 13); Rows == RowMulti
+	// switches all three.
+	MultiAdd, MultiMax, MultiDot bool
+}
+
+// multiAdd / multiMax / multiDot report the effective row mode per gadget.
+func (c Config) multiAdd() bool { return c.Rows == RowMulti || c.MultiAdd }
+func (c Config) multiMax() bool { return c.Rows == RowMulti || c.MultiMax }
+func (c Config) multiDot() bool { return c.Rows == RowMulti || c.MultiDot }
+
+// DefaultConfig returns the configuration ZKML's optimizer starts from.
+func DefaultConfig(numCols int, fp fixedpoint.Params) Config {
+	return Config{
+		NumCols:     numCols,
+		FP:          fp,
+		Dot:         DotBias,
+		Arith:       ArithDedicated,
+		ReLU:        ReLULookup,
+		Rows:        RowSingle,
+		UseConstDot: true,
+	}
+}
+
+// Validate checks that the configuration is usable.
+func (c Config) Validate() error {
+	if c.NumCols < 4 {
+		return fmt.Errorf("gadgets: need at least 4 advice columns, got %d", c.NumCols)
+	}
+	if err := c.FP.Validate(); err != nil {
+		return err
+	}
+	if c.ReLU == ReLUDecomp && c.NumCols < c.FP.LookupBits+2 {
+		return fmt.Errorf("gadgets: ReLU decomposition needs %d columns (LookupBits+2), got %d",
+			c.FP.LookupBits+2, c.NumCols)
+	}
+	switch c.Dot {
+	case DotBias, DotSum:
+	default:
+		return fmt.Errorf("gadgets: unknown dot strategy %q", c.Dot)
+	}
+	switch c.Arith {
+	case ArithDedicated, ArithViaDot:
+	default:
+		return fmt.Errorf("gadgets: unknown arith strategy %q", c.Arith)
+	}
+	switch c.ReLU {
+	case ReLULookup, ReLUDecomp:
+	default:
+		return fmt.Errorf("gadgets: unknown relu strategy %q", c.ReLU)
+	}
+	switch c.Rows {
+	case RowSingle, RowMulti:
+	default:
+		return fmt.Errorf("gadgets: unknown row mode %q", c.Rows)
+	}
+	return nil
+}
+
+// DotWidth returns the per-row operand capacity of the dot gadget under
+// this configuration.
+func (c Config) DotWidth() int {
+	switch {
+	case c.multiDot():
+		return c.NumCols - 1 // dot_mr: xs on row r, ys on row r+1
+	case c.UseConstDot:
+		return c.NumCols - 1 // dot_const: [x_1..x_n, z]
+	case c.Dot == DotBias:
+		return (c.NumCols - 2) / 2 // [x.. y.. bias z]
+	default:
+		return (c.NumCols - 1) / 2 // [x.. y.. z]
+	}
+}
+
+// EnumerateConfigs returns the logical-layout candidates the optimizer
+// considers for a given column count (paper §7.2: one implementation choice
+// per layer family, applied uniformly — the pruning heuristic).
+func EnumerateConfigs(numCols int, fp fixedpoint.Params) []Config {
+	var out []Config
+	for _, dot := range []DotStrategy{DotBias, DotSum} {
+		for _, constDot := range []bool{true, false} {
+			c := DefaultConfig(numCols, fp)
+			c.Dot = dot
+			c.UseConstDot = constDot
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// sortedNLs returns nonlinearities in deterministic order.
+func sortedNLs(m map[fixedpoint.Nonlinearity]bool) []fixedpoint.Nonlinearity {
+	out := make([]fixedpoint.Nonlinearity, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,507 @@
+// Package layers implements ZKML's ML layer catalog (paper §6) by composing
+// gadgets: linear layers (convolutions, fully connected, batched matmul),
+// pooling, activations, arithmetic layers, softmax, and normalization.
+// Tensors of circuit values flow between layers; shape operations are free
+// (tensor views), while compute layers emit gadget rows.
+package layers
+
+import (
+	"fmt"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/gadgets"
+	"repro/internal/tensor"
+)
+
+// T is a tensor of circuit values.
+type T = tensor.Tensor[*gadgets.Value]
+
+// IT is a tensor of quantized integer constants (weights).
+type IT = tensor.Tensor[int64]
+
+// Padding selects convolution/pooling padding.
+type Padding string
+
+// Padding modes.
+const (
+	Valid Padding = "valid"
+	Same  Padding = "same"
+)
+
+// FullyConnected computes y = x·W^T + bias with constant weights.
+// x: [batch, in]; w: [out, in]; bias: [out] (nil for none). The product is
+// accumulated at double scale with the bias pre-scaled, then rescaled once
+// (paper §6.2: fusing the bias into the dot-product accumulation).
+func FullyConnected(b *gadgets.Builder, x *T, w *IT, bias *IT) *T {
+	batch, in := x.Shape[0], x.Shape[1]
+	out := w.Shape[0]
+	if w.Shape[1] != in {
+		panic(fmt.Sprintf("layers: FC shape mismatch: x %v, w %v", x.Shape, w.Shape))
+	}
+	sf := b.Config().FP.SF()
+	y := tensor.New[*gadgets.Value](batch, out)
+	for bi := 0; bi < batch; bi++ {
+		xRow := make([]*gadgets.Value, in)
+		for i := 0; i < in; i++ {
+			xRow[i] = x.At(bi, i)
+		}
+		for o := 0; o < out; o++ {
+			var init *gadgets.Value
+			if bias != nil {
+				init = b.Constant(bias.At(o) * sf)
+			}
+			raw := b.DotRaw(xRow, nil, w.Data[o*in:(o+1)*in], init)
+			y.Set(b.Rescale(raw), bi, o)
+		}
+	}
+	return y
+}
+
+// MatMul computes x [m,k] · y [k,n] where both operands are witness tensors
+// (e.g. attention scores), rescaling each output element.
+func MatMul(b *gadgets.Builder, x, y *T) *T {
+	m, k := x.Shape[0], x.Shape[1]
+	n := y.Shape[1]
+	if y.Shape[0] != k {
+		panic(fmt.Sprintf("layers: MatMul shape mismatch: %v x %v", x.Shape, y.Shape))
+	}
+	out := tensor.New[*gadgets.Value](m, n)
+	for i := 0; i < m; i++ {
+		xi := make([]*gadgets.Value, k)
+		for kk := 0; kk < k; kk++ {
+			xi[kk] = x.At(i, kk)
+		}
+		for j := 0; j < n; j++ {
+			yj := make([]*gadgets.Value, k)
+			for kk := 0; kk < k; kk++ {
+				yj[kk] = y.At(kk, j)
+			}
+			out.Set(b.Rescale(b.DotRaw(xi, yj, nil, nil)), i, j)
+		}
+	}
+	return out
+}
+
+// BatchMatMul applies MatMul over a leading batch axis: x [B,m,k]·y [B,k,n].
+func BatchMatMul(b *gadgets.Builder, x, y *T) *T {
+	bs := x.Shape[0]
+	outs := make([]*T, bs)
+	for i := 0; i < bs; i++ {
+		xi := x.Slice([]int{i, 0, 0}, []int{i + 1, x.Shape[1], x.Shape[2]}).Reshape(x.Shape[1], x.Shape[2])
+		yi := y.Slice([]int{i, 0, 0}, []int{i + 1, y.Shape[1], y.Shape[2]}).Reshape(y.Shape[1], y.Shape[2])
+		m := MatMul(b, xi, yi)
+		outs[i] = m.Reshape(1, m.Shape[0], m.Shape[1])
+	}
+	return tensor.Concat(0, outs...)
+}
+
+// convDims computes output size and pre-padding for a convolution axis.
+func convDims(in, k, stride int, pad Padding) (out, before, after int) {
+	switch pad {
+	case Valid:
+		return (in-k)/stride + 1, 0, 0
+	case Same:
+		out = (in + stride - 1) / stride
+		total := (out-1)*stride + k - in
+		if total < 0 {
+			total = 0
+		}
+		return out, total / 2, total - total/2
+	}
+	panic("layers: unknown padding " + string(pad))
+}
+
+// Conv2D computes a 2D convolution with constant weights.
+// x: [H, W, Cin]; kernel: [KH, KW, Cin, Cout]; bias: [Cout] or nil.
+func Conv2D(b *gadgets.Builder, x *T, kernel *IT, bias *IT, stride int, pad Padding) *T {
+	h, w, cin := x.Shape[0], x.Shape[1], x.Shape[2]
+	kh, kw, kcin, cout := kernel.Shape[0], kernel.Shape[1], kernel.Shape[2], kernel.Shape[3]
+	if kcin != cin {
+		panic(fmt.Sprintf("layers: Conv2D channel mismatch: x %v, k %v", x.Shape, kernel.Shape))
+	}
+	oh, ph0, ph1 := convDims(h, kh, stride, pad)
+	ow, pw0, pw1 := convDims(w, kw, stride, pad)
+	sf := b.Config().FP.SF()
+	zero := b.Constant(0)
+	padded := x.Pad([]int{ph0, pw0, 0}, []int{ph1, pw1, 0}, zero)
+
+	out := tensor.New[*gadgets.Value](oh, ow, cout)
+	patch := make([]*gadgets.Value, kh*kw*cin)
+	wcol := make([]int64, kh*kw*cin)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			idx := 0
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					for c := 0; c < cin; c++ {
+						patch[idx] = padded.At(oy*stride+ky, ox*stride+kx, c)
+						idx++
+					}
+				}
+			}
+			for f := 0; f < cout; f++ {
+				idx = 0
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						for c := 0; c < cin; c++ {
+							wcol[idx] = kernel.At(ky, kx, c, f)
+							idx++
+						}
+					}
+				}
+				var init *gadgets.Value
+				if bias != nil {
+					init = b.Constant(bias.At(f) * sf)
+				}
+				raw := b.DotRaw(patch, nil, wcol, init)
+				out.Set(b.Rescale(raw), oy, ox, f)
+			}
+		}
+	}
+	return out
+}
+
+// DepthwiseConv2D convolves each channel with its own kernel.
+// x: [H, W, C]; kernel: [KH, KW, C]; bias: [C] or nil.
+func DepthwiseConv2D(b *gadgets.Builder, x *T, kernel *IT, bias *IT, stride int, pad Padding) *T {
+	h, w, c := x.Shape[0], x.Shape[1], x.Shape[2]
+	kh, kw := kernel.Shape[0], kernel.Shape[1]
+	oh, ph0, ph1 := convDims(h, kh, stride, pad)
+	ow, pw0, pw1 := convDims(w, kw, stride, pad)
+	sf := b.Config().FP.SF()
+	zero := b.Constant(0)
+	padded := x.Pad([]int{ph0, pw0, 0}, []int{ph1, pw1, 0}, zero)
+
+	out := tensor.New[*gadgets.Value](oh, ow, c)
+	patch := make([]*gadgets.Value, kh*kw)
+	wcol := make([]int64, kh*kw)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for ch := 0; ch < c; ch++ {
+				idx := 0
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						patch[idx] = padded.At(oy*stride+ky, ox*stride+kx, ch)
+						wcol[idx] = kernel.At(ky, kx, ch)
+						idx++
+					}
+				}
+				var init *gadgets.Value
+				if bias != nil {
+					init = b.Constant(bias.At(ch) * sf)
+				}
+				raw := b.DotRaw(patch, nil, wcol, init)
+				out.Set(b.Rescale(raw), oy, ox, ch)
+			}
+		}
+	}
+	return out
+}
+
+// AveragePool2D averages non-overlapping (or strided) windows.
+func AveragePool2D(b *gadgets.Builder, x *T, k, stride int) *T {
+	h, w, c := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := (h-k)/stride + 1
+	ow := (w-k)/stride + 1
+	out := tensor.New[*gadgets.Value](oh, ow, c)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for ch := 0; ch < c; ch++ {
+				vals := make([]*gadgets.Value, 0, k*k)
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						vals = append(vals, x.At(oy*stride+ky, ox*stride+kx, ch))
+					}
+				}
+				out.Set(b.DivRoundConst(b.SumVec(vals), int64(k*k)), oy, ox, ch)
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D takes window maxima via the max gadget.
+func MaxPool2D(b *gadgets.Builder, x *T, k, stride int) *T {
+	h, w, c := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := (h-k)/stride + 1
+	ow := (w-k)/stride + 1
+	out := tensor.New[*gadgets.Value](oh, ow, c)
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for ch := 0; ch < c; ch++ {
+				vals := make([]*gadgets.Value, 0, k*k)
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						vals = append(vals, x.At(oy*stride+ky, ox*stride+kx, ch))
+					}
+				}
+				out.Set(b.MaxVec(vals), oy, ox, ch)
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAveragePool reduces [H, W, C] to [C].
+func GlobalAveragePool(b *gadgets.Builder, x *T) *T {
+	h, w, c := x.Shape[0], x.Shape[1], x.Shape[2]
+	out := tensor.New[*gadgets.Value](c)
+	for ch := 0; ch < c; ch++ {
+		vals := make([]*gadgets.Value, 0, h*w)
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				vals = append(vals, x.At(y, xx, ch))
+			}
+		}
+		out.Set(b.DivRoundConst(b.SumVec(vals), int64(h*w)), ch)
+	}
+	return out
+}
+
+// Activation applies a pointwise nonlinearity.
+func Activation(b *gadgets.Builder, nl fixedpoint.Nonlinearity, x *T) *T {
+	return tensor.Map(x, func(v *gadgets.Value) *gadgets.Value {
+		return b.Nonlinear(nl, v)
+	})
+}
+
+// Add / Sub / Mul / SquaredDifference are elementwise arithmetic layers
+// (broadcasting the second operand if needed).
+func Add(b *gadgets.Builder, x, y *T) *T {
+	y = maybeBroadcast(y, x.Shape)
+	return tensor.Zip(x, y, func(a, c *gadgets.Value) *gadgets.Value { return b.Add(a, c) })
+}
+
+// Sub computes x - y elementwise.
+func Sub(b *gadgets.Builder, x, y *T) *T {
+	y = maybeBroadcast(y, x.Shape)
+	return tensor.Zip(x, y, func(a, c *gadgets.Value) *gadgets.Value { return b.Sub(a, c) })
+}
+
+// Mul computes the rescaled elementwise product.
+func Mul(b *gadgets.Builder, x, y *T) *T {
+	y = maybeBroadcast(y, x.Shape)
+	return tensor.Zip(x, y, func(a, c *gadgets.Value) *gadgets.Value { return b.Mul(a, c) })
+}
+
+// Div computes the rescaled elementwise quotient x/y (y must be positive).
+func Div(b *gadgets.Builder, x, y *T) *T {
+	y = maybeBroadcast(y, x.Shape)
+	sf := b.Config().FP.SF()
+	return tensor.Zip(x, y, func(a, c *gadgets.Value) *gadgets.Value {
+		return b.VarDiv(b.MulC(a, sf), c)
+	})
+}
+
+// SquaredDifference computes (x-y)^2 rescaled.
+func SquaredDifference(b *gadgets.Builder, x, y *T) *T {
+	y = maybeBroadcast(y, x.Shape)
+	return tensor.Zip(x, y, func(a, c *gadgets.Value) *gadgets.Value {
+		return b.Rescale(b.SqDiffRaw(a, c))
+	})
+}
+
+func maybeBroadcast(y *T, shape []int) *T {
+	if tensor.NumElems(y.Shape) == tensor.NumElems(shape) {
+		return y
+	}
+	return y.BroadcastTo(shape...)
+}
+
+// Softmax computes the numerically stable softmax along the last axis
+// exactly as §6 of the paper prescribes: subtract the max (max gadget),
+// exponentiate through the scaled-exp lookup, then divide each scaled
+// numerator by the sum with the variable-division gadget.
+func Softmax(b *gadgets.Builder, x *T) *T {
+	last := x.Shape[len(x.Shape)-1]
+	flat := x.Reshape(-1, last)
+	rows := flat.Shape[0]
+	sf := b.Config().FP.SF()
+	out := tensor.New[*gadgets.Value](rows, last)
+	for r := 0; r < rows; r++ {
+		vals := make([]*gadgets.Value, last)
+		for i := 0; i < last; i++ {
+			vals[i] = flat.At(r, i)
+		}
+		m := b.MaxVec(vals)
+		exps := make([]*gadgets.Value, last)
+		for i := 0; i < last; i++ {
+			exps[i] = b.Nonlinear(fixedpoint.Exp, b.Sub(vals[i], m))
+		}
+		total := b.SumVec(exps)
+		// The exponential sum can reach last*SF, which may exceed the
+		// variable-division divisor bound of 2^(LookupBits-1); shrink
+		// numerator and denominator by the same power of two k (the
+		// paper's limb trick specialized to a single limb).
+		k := int64(1)
+		for int64(last)*sf/k > b.Config().FP.HalfRange() {
+			k *= 2
+		}
+		den := total
+		if k > 1 {
+			den = b.DivRoundConst(total, k)
+		}
+		for i := 0; i < last; i++ {
+			out.Set(b.VarDiv(b.MulC(exps[i], sf/k), den), r, i)
+		}
+	}
+	outShaped := out.Reshape(x.Shape...)
+	return outShaped
+}
+
+// LayerNorm normalizes over the last axis with constant scale/shift:
+// y = gamma * (x - mean) / sqrt(var + eps) + beta. The reciprocal square
+// root goes through the rsqrt lookup table.
+func LayerNorm(b *gadgets.Builder, x *T, gamma, beta *IT) *T {
+	last := x.Shape[len(x.Shape)-1]
+	flat := x.Reshape(-1, last)
+	rows := flat.Shape[0]
+	fp := b.Config().FP
+	sf := fp.SF()
+	eps := b.Constant(1) // smallest positive fixed-point value
+	out := tensor.New[*gadgets.Value](rows, last)
+	for r := 0; r < rows; r++ {
+		vals := make([]*gadgets.Value, last)
+		for i := 0; i < last; i++ {
+			vals[i] = flat.At(r, i)
+		}
+		mean := b.DivRoundConst(b.SumVec(vals), int64(last))
+		diffs := make([]*gadgets.Value, last)
+		sq := make([]*gadgets.Value, last)
+		for i := 0; i < last; i++ {
+			diffs[i] = b.Sub(vals[i], mean)
+			// Rescale each square immediately so every division
+			// quotient stays at single scale (within the lookup range).
+			sq[i] = b.Rescale(b.SqDiffRaw(vals[i], mean))
+		}
+		variance := b.DivRoundConst(b.SumVec(sq), int64(last))
+		rstd := b.Nonlinear(fixedpoint.Rsqrt, b.Add(variance, eps))
+		for i := 0; i < last; i++ {
+			norm := b.Rescale(b.MulRaw(diffs[i], rstd))
+			var init *gadgets.Value
+			if beta != nil {
+				init = b.Constant(beta.At(i) * sf)
+			}
+			g := int64(sf) // identity scale when gamma is nil
+			if gamma != nil {
+				g = gamma.At(i)
+			}
+			out.Set(b.Rescale(b.DotRaw([]*gadgets.Value{norm}, nil, []int64{g}, init)), r, i)
+		}
+	}
+	return out.Reshape(x.Shape...)
+}
+
+// RMSNorm normalizes by the root-mean-square over the last axis:
+// y = gamma * x / sqrt(mean(x^2) + eps).
+func RMSNorm(b *gadgets.Builder, x *T, gamma *IT) *T {
+	last := x.Shape[len(x.Shape)-1]
+	flat := x.Reshape(-1, last)
+	rows := flat.Shape[0]
+	fp := b.Config().FP
+	sf := fp.SF()
+	eps := b.Constant(1)
+	out := tensor.New[*gadgets.Value](rows, last)
+	for r := 0; r < rows; r++ {
+		sq := make([]*gadgets.Value, last)
+		for i := 0; i < last; i++ {
+			sq[i] = b.Rescale(b.SquareRaw(flat.At(r, i)))
+		}
+		ms := b.DivRoundConst(b.SumVec(sq), int64(last))
+		rstd := b.Nonlinear(fixedpoint.Rsqrt, b.Add(ms, eps))
+		for i := 0; i < last; i++ {
+			norm := b.Rescale(b.MulRaw(flat.At(r, i), rstd))
+			g := sf
+			if gamma != nil {
+				g = gamma.At(i)
+			}
+			out.Set(b.Rescale(b.DotRaw([]*gadgets.Value{norm}, nil, []int64{g}, nil)), r, i)
+		}
+	}
+	return out.Reshape(x.Shape...)
+}
+
+// ReduceSum sums along the last axis.
+func ReduceSum(b *gadgets.Builder, x *T) *T {
+	last := x.Shape[len(x.Shape)-1]
+	flat := x.Reshape(-1, last)
+	out := tensor.New[*gadgets.Value](flat.Shape[0])
+	for r := 0; r < flat.Shape[0]; r++ {
+		vals := make([]*gadgets.Value, last)
+		for i := range vals {
+			vals[i] = flat.At(r, i)
+		}
+		out.Set(b.SumVec(vals), r)
+	}
+	return out.Reshape(x.Shape[:len(x.Shape)-1]...)
+}
+
+// ReduceMean averages along the last axis.
+func ReduceMean(b *gadgets.Builder, x *T) *T {
+	last := x.Shape[len(x.Shape)-1]
+	sum := ReduceSum(b, x)
+	return tensor.Map(sum, func(v *gadgets.Value) *gadgets.Value {
+		return b.DivRoundConst(v, int64(last))
+	})
+}
+
+// ReduceMax takes the max along the last axis.
+func ReduceMax(b *gadgets.Builder, x *T) *T {
+	last := x.Shape[len(x.Shape)-1]
+	flat := x.Reshape(-1, last)
+	out := tensor.New[*gadgets.Value](flat.Shape[0])
+	for r := 0; r < flat.Shape[0]; r++ {
+		vals := make([]*gadgets.Value, last)
+		for i := range vals {
+			vals[i] = flat.At(r, i)
+		}
+		out.Set(b.MaxVec(vals), r)
+	}
+	return out.Reshape(x.Shape[:len(x.Shape)-1]...)
+}
+
+// Embed gathers rows of a committed embedding table with dynamic witness
+// indices: each output row is bound to the table through a lookup argument
+// (the id and the gathered values must form a table row). The table is
+// registered once per name; ids vary per inference.
+func Embed(b *gadgets.Builder, name string, table *IT, ids []int) *T {
+	vocab, dim := table.Shape[0], table.Shape[1]
+	b.RegisterTable(name, vocab, dim, table.Data)
+	out := tensor.New[*gadgets.Value](len(ids), dim)
+	for i, id := range ids {
+		if id < 0 || id >= vocab {
+			panic(fmt.Sprintf("layers: embedding id %d out of range [0,%d)", id, vocab))
+		}
+		row := b.Gather(name, b.Witness(int64(id)))
+		if len(row) != dim {
+			// The builder recorded an error (e.g. the table row does
+			// not fit the column budget); propagate zeros so the
+			// caller sees b.Err() rather than a panic.
+			return out
+		}
+		for d := 0; d < dim; d++ {
+			out.Set(row[d], i, d)
+		}
+	}
+	return out
+}
+
+// Inputs wraps a quantized input tensor as witness values.
+func Inputs(b *gadgets.Builder, x *IT) *T {
+	return tensor.Map(x, func(v int64) *gadgets.Value { return b.Witness(v) })
+}
+
+// Outputs exposes every element of a tensor as a public output, returning
+// the instance rows used.
+func Outputs(b *gadgets.Builder, x *T) []int {
+	rows := make([]int, x.Len())
+	for i, v := range x.Data {
+		rows[i] = b.MakePublic(v)
+	}
+	return rows
+}
+
+// Values extracts the concrete fixed-point values of a tensor.
+func Values(x *T) *IT {
+	return tensor.Map(x, func(v *gadgets.Value) int64 { return v.Int64() })
+}

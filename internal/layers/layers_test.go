@@ -1,0 +1,250 @@
+package layers
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/gadgets"
+	"repro/internal/tensor"
+)
+
+func fp() fixedpoint.Params { return fixedpoint.Params{ScaleBits: 8, LookupBits: 14} }
+
+func builder() *gadgets.Builder {
+	return gadgets.NewBuilder(gadgets.DefaultConfig(12, fp()))
+}
+
+func inputTensor(b *gadgets.Builder, vals []float64, shape ...int) *T {
+	q := make([]int64, len(vals))
+	for i, v := range vals {
+		q[i] = fp().Quantize(v)
+	}
+	return Inputs(b, tensor.FromSlice(q, shape...))
+}
+
+func quantTensor(vals []float64, shape ...int) *IT {
+	q := make([]int64, len(vals))
+	for i, v := range vals {
+		q[i] = fp().Quantize(v)
+	}
+	return tensor.FromSlice(q, shape...)
+}
+
+func approxEq(t *testing.T, got *T, want []float64, tol float64, what string) {
+	t.Helper()
+	if got.Len() != len(want) {
+		t.Fatalf("%s: length %d vs %d", what, got.Len(), len(want))
+	}
+	for i := range want {
+		g := got.Data[i].Float()
+		if math.Abs(g-want[i]) > tol {
+			t.Fatalf("%s[%d]: %.4f vs %.4f", what, i, g, want[i])
+		}
+	}
+}
+
+func TestFullyConnected(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 2, 3}, 1, 3)
+	w := quantTensor([]float64{0.5, -0.5, 1, 0.25, 0.25, 0.25}, 2, 3)
+	bias := quantTensor([]float64{0.1, -0.1}, 2)
+	y := FullyConnected(b, x, w, bias)
+	// row0: 0.5 - 1 + 3 + 0.1 = 2.6 ; row1: 0.25+0.5+0.75 - 0.1 = 1.4
+	approxEq(t, y, []float64{2.6, 1.4}, 0.02, "fc")
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 0.5, -1, 2}, 2, 2)
+	y := inputTensor(b, []float64{0.25, 1, -0.5, 0.5}, 2, 2)
+	z := MatMul(b, x, y)
+	// [1 .5; -1 2]·[.25 1; -.5 .5] = [0, 1.25; -1.25, 0]
+	approxEq(t, z, []float64{0, 1.25, -1.25, 0}, 0.02, "matmul")
+}
+
+func TestConv2DMatchesManual(t *testing.T) {
+	b := builder()
+	// 3x3 single-channel input, 2x2 kernel, valid padding.
+	x := inputTensor(b, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}, 3, 3, 1)
+	k := quantTensor([]float64{1, 0, 0, 1}, 2, 2, 1, 1) // identity-ish
+	y := Conv2D(b, x, k, nil, 1, Valid)
+	// out[i,j] = x[i,j] + x[i+1,j+1]
+	approxEq(t, y, []float64{6, 8, 12, 14}, 0.02, "conv2d")
+}
+
+func TestConv2DSamePadding(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 1, 1, 1}, 2, 2, 1)
+	k := quantTensor([]float64{1, 1, 1, 1, 1, 1, 1, 1, 1}, 3, 3, 1, 1)
+	y := Conv2D(b, x, k, nil, 1, Same)
+	if y.Shape[0] != 2 || y.Shape[1] != 2 {
+		t.Fatalf("same-pad output shape %v", y.Shape)
+	}
+	// Every output is the sum over the in-bounds window = 4.
+	approxEq(t, y, []float64{4, 4, 4, 4}, 0.05, "conv same")
+}
+
+func TestDepthwiseConv(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 10, 2, 20, 3, 30, 4, 40}, 2, 2, 2)
+	k := quantTensor([]float64{1, 0.1}, 1, 1, 2)
+	y := DepthwiseConv2D(b, x, k, nil, 1, Valid)
+	approxEq(t, y, []float64{1, 1, 2, 2, 3, 3, 4, 4}, 0.1, "dwconv")
+}
+
+func TestPooling(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, 4, 4, 1)
+	avg := AveragePool2D(b, x, 2, 2)
+	approxEq(t, avg, []float64{3.5, 5.5, 11.5, 13.5}, 0.02, "avgpool")
+	mx := MaxPool2D(b, x, 2, 2)
+	approxEq(t, mx, []float64{6, 8, 14, 16}, 0.02, "maxpool")
+	gap := GlobalAveragePool(b, x)
+	approxEq(t, gap, []float64{8.5}, 0.02, "gap")
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 2, 0.5, -1}, 1, 4)
+	y := Softmax(b, x)
+	sum := 0.0
+	for _, v := range y.Data {
+		if v.Float() < 0 {
+			t.Fatal("softmax output negative")
+		}
+		sum += v.Float()
+	}
+	if math.Abs(sum-1) > 0.05 {
+		t.Fatalf("softmax sums to %.4f", sum)
+	}
+	// Largest input gets largest probability.
+	if y.Data[1].Float() <= y.Data[0].Float() {
+		t.Fatal("softmax ordering broken")
+	}
+}
+
+func TestSoftmaxMatchesFloat(t *testing.T) {
+	b := builder()
+	in := []float64{0.3, -0.7, 1.1, 0.0}
+	x := inputTensor(b, in, 1, 4)
+	y := Softmax(b, x)
+	// Float reference.
+	m := in[0]
+	for _, v := range in {
+		m = math.Max(m, v)
+	}
+	total := 0.0
+	exps := make([]float64, len(in))
+	for i, v := range in {
+		exps[i] = math.Exp(v - m)
+		total += exps[i]
+	}
+	for i := range exps {
+		exps[i] /= total
+	}
+	approxEq(t, y, exps, 0.03, "softmax")
+}
+
+func TestLayerNormStats(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 2, 3, 4, 3, 2, 1, 0}, 1, 8)
+	y := LayerNorm(b, x, nil, nil)
+	mean, varr := 0.0, 0.0
+	for _, v := range y.Data {
+		mean += v.Float()
+	}
+	mean /= float64(y.Len())
+	for _, v := range y.Data {
+		varr += (v.Float() - mean) * (v.Float() - mean)
+	}
+	varr /= float64(y.Len())
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("layernorm mean %.4f", mean)
+	}
+	if math.Abs(varr-1) > 0.2 {
+		t.Fatalf("layernorm variance %.4f", varr)
+	}
+}
+
+func TestRMSNorm(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{2, 2, 2, 2}, 1, 4)
+	y := RMSNorm(b, x, nil)
+	// rms = 2 => outputs ~1.
+	approxEq(t, y, []float64{1, 1, 1, 1}, 0.1, "rmsnorm")
+}
+
+func TestElementwiseLayers(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, -2}, 2)
+	y := inputTensor(b, []float64{0.5, 4}, 2)
+	approxEq(t, Add(b, x, y), []float64{1.5, 2}, 0.01, "add")
+	approxEq(t, Sub(b, x, y), []float64{0.5, -6}, 0.01, "sub")
+	approxEq(t, Mul(b, x, y), []float64{0.5, -8}, 0.02, "mul")
+	approxEq(t, SquaredDifference(b, x, y), []float64{0.25, 36}, 0.1, "sqdiff")
+	approxEq(t, Div(b, x, y), []float64{2, -0.5}, 0.02, "div")
+}
+
+func TestBroadcastAdd(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 2, 3, 4}, 2, 2)
+	y := inputTensor(b, []float64{10, 20}, 2)
+	z := Add(b, x, y)
+	approxEq(t, z, []float64{11, 22, 13, 24}, 0.01, "broadcast add")
+}
+
+func TestReductions(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	approxEq(t, ReduceSum(b, x), []float64{6, 15}, 0.02, "reduce_sum")
+	approxEq(t, ReduceMean(b, x), []float64{2, 5}, 0.02, "reduce_mean")
+	approxEq(t, ReduceMax(b, x), []float64{3, 6}, 0.02, "reduce_max")
+}
+
+func TestBatchMatMul(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 0, 0, 1, 2, 0, 0, 2}, 2, 2, 2)
+	y := inputTensor(b, []float64{1, 2, 3, 4, 1, 2, 3, 4}, 2, 2, 2)
+	z := BatchMatMul(b, x, y)
+	approxEq(t, z, []float64{1, 2, 3, 4, 2, 4, 6, 8}, 0.02, "bmm")
+}
+
+func TestActivationLayer(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{-1, 0, 2}, 3)
+	relu := Activation(b, fixedpoint.ReLU, x)
+	approxEq(t, relu, []float64{0, 0, 2}, 0.01, "relu")
+	sig := Activation(b, fixedpoint.Sigmoid, x)
+	approxEq(t, sig, []float64{0.2689, 0.5, 0.8808}, 0.02, "sigmoid")
+}
+
+func TestEmbedGather(t *testing.T) {
+	b := builder()
+	table := quantTensor([]float64{
+		0.1, 0.2,
+		0.3, 0.4,
+		0.5, 0.6,
+	}, 3, 2)
+	e := Embed(b, "tbl", table, []int{2, 0})
+	approxEq(t, e, []float64{0.5, 0.6, 0.1, 0.2}, 0.01, "embed")
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+}
+
+func TestOutputsExposesValues(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 2}, 2)
+	rows := Outputs(b, x)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 1 {
+		t.Fatalf("instance rows %v", rows)
+	}
+	pub := b.PublicInputs()
+	if len(pub) != 2 || pub[0] != fp().Quantize(1) {
+		t.Fatalf("public values %v", pub)
+	}
+}

@@ -1,0 +1,158 @@
+package layers
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gadgets"
+	"repro/internal/pcs"
+	"repro/internal/plonkish"
+	"repro/internal/tensor"
+)
+
+// floatTrainStep is the reference implementation of one SGD step on the
+// one-hidden-layer sigmoid MLP.
+func floatTrainStep(w1 [][]float64, b1 []float64, w2 [][]float64, b2 []float64,
+	x, y []float64, lr float64) ([][]float64, []float64, [][]float64, []float64, []float64) {
+	hidden, in := len(w1), len(w1[0])
+	out := len(w2)
+	sigmoid := func(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+	h := make([]float64, hidden)
+	for u := 0; u < hidden; u++ {
+		acc := b1[u]
+		for j := 0; j < in; j++ {
+			acc += w1[u][j] * x[j]
+		}
+		h[u] = sigmoid(acc)
+	}
+	yhat := make([]float64, out)
+	for o := 0; o < out; o++ {
+		acc := b2[o]
+		for u := 0; u < hidden; u++ {
+			acc += w2[o][u] * h[u]
+		}
+		yhat[o] = acc
+	}
+	dyhat := make([]float64, out)
+	for o := range dyhat {
+		dyhat[o] = 2 * (yhat[o] - y[o])
+	}
+	dpre := make([]float64, hidden)
+	for u := 0; u < hidden; u++ {
+		dh := 0.0
+		for o := 0; o < out; o++ {
+			dh += dyhat[o] * w2[o][u]
+		}
+		dpre[u] = dh * h[u] * (1 - h[u])
+	}
+	nw1 := make([][]float64, hidden)
+	nb1 := make([]float64, hidden)
+	for u := 0; u < hidden; u++ {
+		nw1[u] = make([]float64, in)
+		for j := 0; j < in; j++ {
+			nw1[u][j] = w1[u][j] - lr*dpre[u]*x[j]
+		}
+		nb1[u] = b1[u] - lr*dpre[u]
+	}
+	nw2 := make([][]float64, out)
+	nb2 := make([]float64, out)
+	for o := 0; o < out; o++ {
+		nw2[o] = make([]float64, hidden)
+		for u := 0; u < hidden; u++ {
+			nw2[o][u] = w2[o][u] - lr*dyhat[o]*h[u]
+		}
+		nb2[o] = b2[o] - lr*dyhat[o]
+	}
+	return nw1, nb1, nw2, nb2, yhat
+}
+
+func TestTrainStepMatchesFloat(t *testing.T) {
+	const (
+		in, hidden, out = 3, 4, 2
+		lr              = 0.25
+	)
+	w1f := [][]float64{{0.2, -0.1, 0.3}, {-0.2, 0.1, 0.1}, {0.05, 0.25, -0.3}, {0.1, 0.1, 0.1}}
+	b1f := []float64{0.05, -0.05, 0.1, 0}
+	w2f := [][]float64{{0.3, -0.2, 0.1, 0.2}, {-0.1, 0.3, 0.2, -0.3}}
+	b2f := []float64{0.1, -0.1}
+	xf := []float64{0.5, -0.7, 0.3}
+	yf := []float64{0.8, -0.2}
+
+	b := gadgets.NewBuilder(gadgets.DefaultConfig(12, fp()))
+	q := func(vs []float64, shape ...int) *IT { return quantTensor(vs, shape...) }
+	flat := func(m [][]float64) []float64 {
+		var outv []float64
+		for _, r := range m {
+			outv = append(outv, r...)
+		}
+		return outv
+	}
+	params := NewMLPParams(b,
+		q(flat(w1f), hidden, in), q(b1f, hidden),
+		q(flat(w2f), out, hidden), q(b2f, out))
+	x := inputTensor(b, xf, in)
+	y := inputTensor(b, yf, out)
+	next, pred := TrainStep(b, params, x, y, lr)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	nw1, nb1, nw2, nb2, yhat := floatTrainStep(w1f, b1f, w2f, b2f, xf, yf, lr)
+	approxEq(t, pred, yhat, 0.05, "prediction")
+	approxEq(t, next.W1, flat(nw1), 0.05, "W1'")
+	approxEq(t, next.B1, nb1, 0.05, "b1'")
+	approxEq(t, next.W2, flat(nw2), 0.05, "W2'")
+	approxEq(t, next.B2, nb2, 0.05, "b2'")
+
+	// The update must actually move the weights.
+	moved := false
+	for i := range next.W2.Data {
+		if next.W2.Data[i].Int64() != params.W2.Data[i].Int64() {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("SGD step did not change the weights")
+	}
+}
+
+// TestTrainStepProof proves a full training step end to end: the verifier
+// learns the updated parameters but not the training example.
+func TestTrainStepProof(t *testing.T) {
+	b := gadgets.NewBuilder(gadgets.DefaultConfig(12, fp()))
+	params := NewMLPParams(b,
+		quantTensor([]float64{0.2, -0.1, 0.3, 0.1}, 2, 2), quantTensor([]float64{0, 0.1}, 2),
+		quantTensor([]float64{0.3, -0.2}, 1, 2), quantTensor([]float64{0.05}, 1))
+	x := inputTensor(b, []float64{0.4, -0.6}, 2)
+	y := inputTensor(b, []float64{0.7}, 1)
+	next, _ := TrainStep(b, params, x, y, 0.5)
+	PublishParams(b, next)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	art, err := b.Finalize(b.MinN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, vk, err := plonkish.Setup(art.CS, art.N, art.Fixed, pcs.KZG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := plonkish.Prove(pk, art.Instance, art.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plonkish.Verify(vk, art.Instance, proof); err != nil {
+		t.Fatal(err)
+	}
+	// Tampering with a published updated weight must be caught.
+	bad := art.Instance
+	v := bad[0][0]
+	v.SetUint64(424242)
+	bad[0][0] = v
+	if err := plonkish.Verify(vk, bad, proof); err == nil {
+		t.Fatal("verifier accepted forged trained weights")
+	}
+}
+
+var _ = tensor.NumElems

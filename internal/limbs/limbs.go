@@ -1,0 +1,233 @@
+// Package limbs implements 4×64-bit Montgomery modular arithmetic shared by
+// the scalar field (Fr) and the curve base field (Fp). A Modulus carries the
+// precomputed Montgomery constants; all constants are derived at
+// construction time from the decimal modulus string, so no magic hex
+// constants appear in the field packages.
+package limbs
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Limbs is a 256-bit little-endian limb vector.
+type Limbs = [4]uint64
+
+// Modulus holds a prime modulus and its Montgomery constants.
+type Modulus struct {
+	M    Limbs    // modulus, little-endian limbs
+	Inv  uint64   // -M^{-1} mod 2^64
+	R    Limbs    // 2^256 mod M (Montgomery form of 1)
+	R2   Limbs    // 2^512 mod M (for conversion into Montgomery form)
+	R3   Limbs    // 2^768 mod M
+	Big  *big.Int // modulus as big.Int
+	Bits int      // bit length of the modulus
+}
+
+// NewModulus builds a Modulus from a decimal string. The modulus must be an
+// odd prime below 2^255 (so Montgomery reduction never overflows the spare
+// top bit).
+func NewModulus(dec string) *Modulus {
+	n, ok := new(big.Int).SetString(dec, 10)
+	if !ok {
+		panic("limbs: invalid modulus " + dec)
+	}
+	if n.BitLen() >= 255 {
+		panic("limbs: modulus too large")
+	}
+	if n.Bit(0) == 0 {
+		panic("limbs: modulus must be odd")
+	}
+	m := &Modulus{Big: n, Bits: n.BitLen()}
+	m.M = fromBig(n)
+
+	// Inv = -M^{-1} mod 2^64 via Newton iteration.
+	inv := m.M[0]
+	for i := 0; i < 5; i++ {
+		inv *= 2 - m.M[0]*inv
+	}
+	m.Inv = -inv
+
+	r := new(big.Int).Lsh(big.NewInt(1), 256)
+	r.Mod(r, n)
+	m.R = fromBig(r)
+	r2 := new(big.Int).Lsh(big.NewInt(1), 512)
+	r2.Mod(r2, n)
+	m.R2 = fromBig(r2)
+	r3 := new(big.Int).Lsh(big.NewInt(1), 768)
+	r3.Mod(r3, n)
+	m.R3 = fromBig(r3)
+	return m
+}
+
+func fromBig(n *big.Int) Limbs {
+	var l Limbs
+	w := n.Bits()
+	for i := 0; i < len(w) && i < 4; i++ {
+		l[i] = uint64(w[i])
+	}
+	return l
+}
+
+// ToBig converts limbs (non-Montgomery) to a big.Int.
+func ToBig(l *Limbs) *big.Int {
+	b := make([]byte, 32)
+	for i := 0; i < 4; i++ {
+		v := l[3-i]
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(v >> (56 - 8*j))
+		}
+	}
+	return new(big.Int).SetBytes(b)
+}
+
+// FromBig reduces a big.Int mod m and returns its limbs (non-Montgomery).
+func (m *Modulus) FromBig(n *big.Int) Limbs {
+	v := new(big.Int).Mod(n, m.Big)
+	return fromBig(v)
+}
+
+// madd returns the (hi, lo) words of a + b*c + carry. The result cannot
+// overflow 128 bits because b*c <= (2^64-1)^2.
+func madd(a, b, c, carry uint64) (hi, lo uint64) {
+	hi, lo = bits.Mul64(b, c)
+	var cc uint64
+	lo, cc = bits.Add64(lo, a, 0)
+	hi += cc
+	lo, cc = bits.Add64(lo, carry, 0)
+	hi += cc
+	return
+}
+
+// MontMul sets z = x*y*R^{-1} mod M (CIOS Montgomery multiplication).
+func (m *Modulus) MontMul(z, x, y *Limbs) {
+	var t [6]uint64
+	for i := 0; i < 4; i++ {
+		var c uint64
+		yi := y[i]
+		c, t[0] = madd(t[0], x[0], yi, 0)
+		c, t[1] = madd(t[1], x[1], yi, c)
+		c, t[2] = madd(t[2], x[2], yi, c)
+		c, t[3] = madd(t[3], x[3], yi, c)
+		var cc uint64
+		t[4], cc = bits.Add64(t[4], c, 0)
+		t[5] = cc
+
+		mm := t[0] * m.Inv
+		c, _ = madd(t[0], mm, m.M[0], 0)
+		c, t[0] = madd(t[1], mm, m.M[1], c)
+		c, t[1] = madd(t[2], mm, m.M[2], c)
+		c, t[2] = madd(t[3], mm, m.M[3], c)
+		t[3], cc = bits.Add64(t[4], c, 0)
+		t[4] = t[5] + cc
+	}
+	z[0], z[1], z[2], z[3] = t[0], t[1], t[2], t[3]
+	if t[4] != 0 || !m.lessThanM(z) {
+		m.subM(z)
+	}
+}
+
+// MontSquare sets z = x*x*R^{-1} mod M.
+func (m *Modulus) MontSquare(z, x *Limbs) { m.MontMul(z, x, x) }
+
+func (m *Modulus) lessThanM(x *Limbs) bool {
+	for i := 3; i >= 0; i-- {
+		if x[i] < m.M[i] {
+			return true
+		}
+		if x[i] > m.M[i] {
+			return false
+		}
+	}
+	return false // equal
+}
+
+func (m *Modulus) subM(z *Limbs) {
+	var b uint64
+	z[0], b = bits.Sub64(z[0], m.M[0], 0)
+	z[1], b = bits.Sub64(z[1], m.M[1], b)
+	z[2], b = bits.Sub64(z[2], m.M[2], b)
+	z[3], _ = bits.Sub64(z[3], m.M[3], b)
+}
+
+// Add sets z = x + y mod M.
+func (m *Modulus) Add(z, x, y *Limbs) {
+	var c uint64
+	z[0], c = bits.Add64(x[0], y[0], 0)
+	z[1], c = bits.Add64(x[1], y[1], c)
+	z[2], c = bits.Add64(x[2], y[2], c)
+	z[3], c = bits.Add64(x[3], y[3], c)
+	if c != 0 || !m.lessThanM(z) {
+		m.subM(z)
+	}
+}
+
+// Sub sets z = x - y mod M.
+func (m *Modulus) Sub(z, x, y *Limbs) {
+	var b uint64
+	z[0], b = bits.Sub64(x[0], y[0], 0)
+	z[1], b = bits.Sub64(x[1], y[1], b)
+	z[2], b = bits.Sub64(x[2], y[2], b)
+	z[3], b = bits.Sub64(x[3], y[3], b)
+	if b != 0 {
+		var c uint64
+		z[0], c = bits.Add64(z[0], m.M[0], 0)
+		z[1], c = bits.Add64(z[1], m.M[1], c)
+		z[2], c = bits.Add64(z[2], m.M[2], c)
+		z[3], _ = bits.Add64(z[3], m.M[3], c)
+	}
+}
+
+// Neg sets z = -x mod M.
+func (m *Modulus) Neg(z, x *Limbs) {
+	if IsZero(x) {
+		*z = Limbs{}
+		return
+	}
+	var b uint64
+	z[0], b = bits.Sub64(m.M[0], x[0], 0)
+	z[1], b = bits.Sub64(m.M[1], x[1], b)
+	z[2], b = bits.Sub64(m.M[2], x[2], b)
+	z[3], _ = bits.Sub64(m.M[3], x[3], b)
+}
+
+// Double sets z = 2x mod M.
+func (m *Modulus) Double(z, x *Limbs) { m.Add(z, x, x) }
+
+// IsZero reports whether all limbs are zero.
+func IsZero(x *Limbs) bool { return x[0]|x[1]|x[2]|x[3] == 0 }
+
+// Equal reports limb-wise equality.
+func Equal(x, y *Limbs) bool {
+	return x[0] == y[0] && x[1] == y[1] && x[2] == y[2] && x[3] == y[3]
+}
+
+// Exp sets z = x^e mod M where x, z are in Montgomery form and e is a plain
+// big integer exponent.
+func (m *Modulus) Exp(z, x *Limbs, e *big.Int) {
+	res := m.R // Montgomery one
+	base := *x
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		m.MontSquare(&res, &res)
+		if e.Bit(i) == 1 {
+			m.MontMul(&res, &res, &base)
+		}
+	}
+	*z = res
+}
+
+// Inverse sets z = x^{-1} mod M (Montgomery form) via Fermat's little
+// theorem. Panics on zero input: inverting zero is always a caller bug.
+func (m *Modulus) Inverse(z, x *Limbs) {
+	if IsZero(x) {
+		panic("limbs: inverse of zero")
+	}
+	e := new(big.Int).Sub(m.Big, big.NewInt(2))
+	m.Exp(z, x, e)
+}
+
+// String renders limbs for debugging.
+func String(l *Limbs) string {
+	return fmt.Sprintf("[%#x %#x %#x %#x]", l[0], l[1], l[2], l[3])
+}

@@ -1,0 +1,138 @@
+package limbs
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+const testModDec = "21888242871839275222246405745257275088548364400416034343698204186575808495617"
+
+var m = NewModulus(testModDec)
+
+// toMont converts a big.Int into Montgomery form limbs.
+func toMont(v *big.Int) Limbs {
+	l := m.FromBig(v)
+	m.MontMul(&l, &l, &m.R2)
+	return l
+}
+
+// fromMont converts Montgomery limbs back to a big.Int.
+func fromMont(l Limbs) *big.Int {
+	one := Limbs{1}
+	m.MontMul(&l, &l, &one)
+	return ToBig(&l)
+}
+
+func randBig(seed int64) *big.Int {
+	v := new(big.Int).SetInt64(seed)
+	v.Mul(v, v)
+	v.Mul(v, new(big.Int).SetUint64(0x9e3779b97f4a7c15))
+	v.Mod(v, m.Big)
+	if v.Sign() < 0 {
+		v.Add(v, m.Big)
+	}
+	return v
+}
+
+func TestMontMulMatchesBigInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := randBig(a), randBig(b)
+		xl, yl := toMont(x), toMont(y)
+		var z Limbs
+		m.MontMul(&z, &xl, &yl)
+		want := new(big.Int).Mul(x, y)
+		want.Mod(want, m.Big)
+		return fromMont(z).Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubMatchBigInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := randBig(a), randBig(b)
+		xl, yl := m.FromBig(x), m.FromBig(y)
+		var s, d Limbs
+		m.Add(&s, &xl, &yl)
+		m.Sub(&d, &xl, &yl)
+		wantS := new(big.Int).Add(x, y)
+		wantS.Mod(wantS, m.Big)
+		wantD := new(big.Int).Sub(x, y)
+		wantD.Mod(wantD, m.Big)
+		if wantD.Sign() < 0 {
+			wantD.Add(wantD, m.Big)
+		}
+		return ToBig(&s).Cmp(wantS) == 0 && ToBig(&d).Cmp(wantD) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegIsAdditiveInverse(t *testing.T) {
+	x := m.FromBig(randBig(77))
+	var n, s Limbs
+	m.Neg(&n, &x)
+	m.Add(&s, &x, &n)
+	if !IsZero(&s) {
+		t.Fatal("x + (-x) != 0")
+	}
+	zero := Limbs{}
+	m.Neg(&n, &zero)
+	if !IsZero(&n) {
+		t.Fatal("-0 != 0")
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	// Multiplication with max values (m-1)^2 exercises all carries.
+	mm1 := new(big.Int).Sub(m.Big, big.NewInt(1))
+	xl := toMont(mm1)
+	var z Limbs
+	m.MontMul(&z, &xl, &xl)
+	want := new(big.Int).Mul(mm1, mm1)
+	want.Mod(want, m.Big)
+	if fromMont(z).Cmp(want) != 0 {
+		t.Fatal("(m-1)^2 wrong")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	x := toMont(randBig(123))
+	var inv, p Limbs
+	m.Inverse(&inv, &x)
+	m.MontMul(&p, &x, &inv)
+	if !Equal(&p, &m.R) { // Montgomery one
+		t.Fatal("x * x^-1 != 1")
+	}
+}
+
+func TestNewModulusValidation(t *testing.T) {
+	for _, dec := range []string{
+		"16", // even
+		"notanumber",
+		"57896044618658097711785492504343953926634992332820282019728792003956564819968", // 2^255
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewModulus(%q) should panic", dec)
+				}
+			}()
+			NewModulus(dec)
+		}()
+	}
+}
+
+func TestBigRoundTrip(t *testing.T) {
+	f := func(a int64) bool {
+		x := randBig(a)
+		l := m.FromBig(x)
+		return ToBig(&l).Cmp(x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

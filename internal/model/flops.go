@@ -1,0 +1,71 @@
+package model
+
+import "repro/internal/tensor"
+
+// Flops estimates the multiply-accumulate-dominated floating point
+// operation count of one inference (the Table 5 "Flops" column), from the
+// tensor shapes observed during a reference execution.
+func (g *Graph) Flops(in *Input) (int64, error) {
+	env, err := g.RunFloat(in)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	elems := func(name string) int64 {
+		if t, ok := env[name]; ok {
+			return int64(t.Len())
+		}
+		return 0
+	}
+	for _, n := range g.Nodes {
+		out := elems(n.Output)
+		switch n.Op {
+		case "conv2d":
+			w := g.Weights[n.Weight]
+			// 2 * out elements * per-output kernel size.
+			total += 2 * out * int64(w.Shape[0]*w.Shape[1]*w.Shape[2])
+		case "depthwise_conv2d":
+			w := g.Weights[n.Weight]
+			total += 2 * out * int64(w.Shape[0]*w.Shape[1])
+		case "fc":
+			w := g.Weights[n.Weight]
+			total += 2 * out * int64(w.Shape[1])
+		case "matmul", "batch_matmul":
+			x := env[n.Inputs[0]]
+			k := x.Shape[len(x.Shape)-1]
+			total += 2 * out * int64(k)
+		case "avg_pool", "max_pool":
+			total += out * int64(n.PoolK*n.PoolK)
+		case "global_avg_pool":
+			total += elems(n.Inputs[0])
+		case "softmax":
+			total += 5 * out
+		case "layer_norm", "rms_norm":
+			total += 8 * out
+		case "reduce_sum", "reduce_mean", "reduce_max":
+			total += elems(n.Inputs[0])
+		case "reshape", "flatten", "transpose", "concat", "slice",
+			"pad_zero", "split_last", "identity", "squeeze", "expand_dims", "embed":
+			// Shape operations are free.
+		default:
+			// Pointwise ops: one flop per element.
+			total += out
+		}
+	}
+	return total, nil
+}
+
+// ShapeSummary returns output shapes per node for documentation and
+// debugging.
+func (g *Graph) ShapeSummary(in *Input) (map[string][]int, error) {
+	env, err := g.RunFloat(in)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]int{}
+	for name, t := range env {
+		out[name] = append([]int(nil), t.Shape...)
+	}
+	_ = tensor.NumElems
+	return out, nil
+}

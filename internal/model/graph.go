@@ -1,0 +1,192 @@
+// Package model defines ZKML's model specification format — a graph of
+// tensor operations with named weights, the JSON analogue of the paper's
+// tflite input format — together with a float reference interpreter, the
+// circuit executor that lowers a graph onto the gadget builder, and
+// generators for architecturally faithful micro versions of the paper's
+// eight evaluation models (Table 5).
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/tensor"
+)
+
+// InputKind distinguishes dense float inputs from integer id inputs
+// (embedding lookups).
+type InputKind string
+
+// Input kinds.
+const (
+	FloatInput InputKind = "float"
+	IDInput    InputKind = "ids"
+)
+
+// InputSpec declares a model input.
+type InputSpec struct {
+	Name  string    `json:"name"`
+	Shape []int     `json:"shape"`
+	Kind  InputKind `json:"kind"`
+}
+
+// Node is one operation in the graph. The op determines which fields are
+// meaningful.
+type Node struct {
+	Op     string   `json:"op"`
+	Inputs []string `json:"inputs"`
+	Output string   `json:"output"`
+
+	Weight  string  `json:"weight,omitempty"`  // weight tensor name
+	Weight2 string  `json:"weight2,omitempty"` // second weight (lstm recurrent)
+	Bias    string  `json:"bias,omitempty"`    // bias tensor name
+	Stride  int     `json:"stride,omitempty"`
+	Pad     string  `json:"pad,omitempty"` // "same" | "valid"
+	PoolK   int     `json:"pool_k,omitempty"`
+	Shape   []int   `json:"shape,omitempty"` // reshape target
+	Perm    []int   `json:"perm,omitempty"`  // transpose permutation
+	Axis    int     `json:"axis,omitempty"`  // concat/split axis
+	Starts  []int   `json:"starts,omitempty"`
+	Ends    []int   `json:"ends,omitempty"`
+	Scale   float64 `json:"scale,omitempty"` // scalar multiply constant
+	Parts   int     `json:"parts,omitempty"` // split count
+}
+
+// Weight is a named constant tensor.
+type Weight struct {
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+// Graph is a complete model specification.
+type Graph struct {
+	Name    string            `json:"name"`
+	Inputs  []InputSpec       `json:"inputs"`
+	Weights map[string]Weight `json:"weights"`
+	Nodes   []Node            `json:"nodes"`
+	Outputs []string          `json:"outputs"`
+}
+
+// OpCatalog lists every graph operation the executors support — ZKML's
+// layer catalog (the paper reports 43 supported layers; shape operations
+// are free, compute operations lower to gadgets).
+var OpCatalog = []string{
+	// Linear layers.
+	"conv2d", "depthwise_conv2d", "fc", "matmul", "batch_matmul",
+	// Pooling.
+	"avg_pool", "max_pool", "global_avg_pool",
+	// Activations (pointwise nonlinearities via lookup).
+	"relu", "relu6", "leaky_relu", "elu", "gelu", "sigmoid", "tanh",
+	"softplus", "silu", "exp", "sqrt", "rsqrt", "erf",
+	// Arithmetic layers.
+	"add", "sub", "mul", "div", "squared_difference", "square", "neg",
+	"scale", "abs", "minimum", "maximum",
+	// Reductions.
+	"reduce_sum", "reduce_mean", "reduce_max",
+	// Vector-valued non-linear layers.
+	"softmax", "layer_norm", "rms_norm",
+	// Shape operations (free).
+	"reshape", "flatten", "transpose", "concat", "slice", "pad_zero",
+	"split_last", "identity", "expand_dims", "squeeze",
+	// Recurrent.
+	"lstm",
+	// Embedding.
+	"embed",
+}
+
+// weightTensor materializes a weight as a float tensor.
+func (g *Graph) weightTensor(name string) *tensor.Tensor[float64] {
+	w, ok := g.Weights[name]
+	if !ok {
+		panic(fmt.Sprintf("model: unknown weight %q", name))
+	}
+	return tensor.FromSlice(append([]float64(nil), w.Data...), w.Shape...)
+}
+
+// Validate checks graph consistency: every node input must be produced by a
+// prior node, a graph input, or a weight; outputs must exist.
+func (g *Graph) Validate() error {
+	avail := map[string]bool{}
+	for _, in := range g.Inputs {
+		avail[in.Name] = true
+	}
+	for i, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if !avail[in] {
+				return fmt.Errorf("model %s: node %d (%s) consumes undefined tensor %q", g.Name, i, n.Op, in)
+			}
+		}
+		if n.Weight != "" {
+			if _, ok := g.Weights[n.Weight]; !ok {
+				return fmt.Errorf("model %s: node %d references missing weight %q", g.Name, i, n.Weight)
+			}
+		}
+		if n.Weight2 != "" {
+			if _, ok := g.Weights[n.Weight2]; !ok {
+				return fmt.Errorf("model %s: node %d references missing weight %q", g.Name, i, n.Weight2)
+			}
+		}
+		if n.Bias != "" {
+			if _, ok := g.Weights[n.Bias]; !ok {
+				return fmt.Errorf("model %s: node %d references missing bias %q", g.Name, i, n.Bias)
+			}
+		}
+		if n.Output == "" {
+			return fmt.Errorf("model %s: node %d has no output", g.Name, i)
+		}
+		avail[n.Output] = true
+	}
+	for _, out := range g.Outputs {
+		if !avail[out] {
+			return fmt.Errorf("model %s: output %q never produced", g.Name, out)
+		}
+	}
+	return nil
+}
+
+// Params returns the total number of weight parameters (Table 5).
+func (g *Graph) Params() int {
+	n := 0
+	for _, w := range g.Weights {
+		n += len(w.Data)
+	}
+	return n
+}
+
+// Save writes the graph as JSON.
+func (g *Graph) Save(path string) error {
+	b, err := json.MarshalIndent(g, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads a graph from JSON.
+func Load(path string) (*Graph, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g Graph
+	if err := json.Unmarshal(b, &g); err != nil {
+		return nil, fmt.Errorf("model: parsing %s: %w", path, err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// Input is a concrete inference input: dense values for float inputs, ids
+// for embedding inputs.
+type Input struct {
+	Floats map[string][]float64
+	IDs    map[string][]int
+}
+
+// NewInput allocates an empty input.
+func NewInput() *Input {
+	return &Input{Floats: map[string][]float64{}, IDs: map[string][]int{}}
+}

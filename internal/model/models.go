@@ -1,0 +1,494 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Spec describes one of the evaluation models: how to build its graph and
+// how to generate a deterministic synthetic input.
+//
+// The paper's models (Table 5) are proprietary or too large for this
+// environment (a distilled GPT-2 needs 1 TB of proving RAM); each entry
+// here is an architecturally faithful scaled-down variant — the same layer
+// types, dataflow, and non-linearities, with fewer channels/blocks/tokens
+// (see DESIGN.md §3/§4).
+type Spec struct {
+	Name  string
+	Paper string // the paper model this stands in for
+	Build func() *Graph
+	Input func(seed int64) *Input
+}
+
+// Registry lists the evaluation models in Table 5 order.
+var Registry = []Spec{
+	{Name: "gpt2-micro", Paper: "GPT-2 (distilled, 81.3M params)", Build: GPT2Micro, Input: gptInput},
+	{Name: "diffusion-micro", Paper: "Diffusion (19.5M params)", Build: DiffusionMicro, Input: diffusionInput},
+	{Name: "twitter-micro", Paper: "Twitter MaskNet (48.1M params)", Build: TwitterMicro, Input: vecInput("features", 16)},
+	{Name: "dlrm-micro", Paper: "DLRM (764.3K params)", Build: DLRMMicro, Input: dlrmInput},
+	{Name: "mobilenet-micro", Paper: "MobileNet v2 (3.5M params)", Build: MobileNetMicro, Input: imageInput(8, 8, 3)},
+	{Name: "resnet-micro", Paper: "ResNet-18 (280.9K params)", Build: ResNetMicro, Input: imageInput(8, 8, 3)},
+	{Name: "vgg-micro", Paper: "VGG16 (15.2M params)", Build: VGGMicro, Input: imageInput(8, 8, 3)},
+	{Name: "mnist", Paper: "MNIST CNN (8.1K params)", Build: MNIST, Input: imageInput(12, 12, 1)},
+}
+
+// Get returns the spec for a model name (Table-5 models plus Extras).
+func Get(name string) (Spec, error) {
+	for _, s := range Registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range Extras {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("model: unknown model %q (known: %v)", name, Names())
+}
+
+// Names lists registered model names, evaluation models first.
+func Names() []string {
+	out := make([]string, 0, len(Registry)+len(Extras))
+	for _, s := range Registry {
+		out = append(out, s.Name)
+	}
+	for _, s := range Extras {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// weightRNG produces deterministic synthetic weights: the paper's
+// pretrained weights are an external artifact, so each model draws from a
+// fixed-seed distribution scaled to keep activations in the fixed-point
+// range.
+type weightRNG struct{ r *rand.Rand }
+
+func newWeightRNG(name string) *weightRNG {
+	var seed int64 = 17
+	for _, c := range name {
+		seed = seed*31 + int64(c)
+	}
+	return &weightRNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// dense draws a fan-in-scaled uniform tensor.
+func (w *weightRNG) dense(g *Graph, name string, fanIn int, shape ...int) string {
+	n := tensor.NumElems(shape)
+	s := 1.0 / math.Sqrt(float64(fanIn))
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = (w.r.Float64()*2 - 1) * s
+	}
+	g.Weights[name] = Weight{Shape: shape, Data: data}
+	return name
+}
+
+// affine draws near-identity scale and small shift vectors (norm params).
+func (w *weightRNG) affine(g *Graph, name string, n int, around float64) string {
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = around + (w.r.Float64()*2-1)*0.1
+	}
+	g.Weights[name] = Weight{Shape: []int{n}, Data: data}
+	return name
+}
+
+func newGraph(name string, inputs ...InputSpec) *Graph {
+	return &Graph{Name: name, Inputs: inputs, Weights: map[string]Weight{}}
+}
+
+func (g *Graph) node(n Node) string {
+	g.Nodes = append(g.Nodes, n)
+	return n.Output
+}
+
+// Input generators.
+
+func imageInput(h, w, c int) func(int64) *Input {
+	return func(seed int64) *Input {
+		r := rand.New(rand.NewSource(seed))
+		in := NewInput()
+		data := make([]float64, h*w*c)
+		for i := range data {
+			data[i] = r.Float64()*2 - 1
+		}
+		in.Floats["image"] = data
+		return in
+	}
+}
+
+func vecInput(name string, n int) func(int64) *Input {
+	return func(seed int64) *Input {
+		r := rand.New(rand.NewSource(seed))
+		in := NewInput()
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = r.Float64()*2 - 1
+		}
+		in.Floats[name] = data
+		return in
+	}
+}
+
+func dlrmInput(seed int64) *Input {
+	r := rand.New(rand.NewSource(seed))
+	in := NewInput()
+	dense := make([]float64, 4)
+	for i := range dense {
+		dense[i] = r.Float64()*2 - 1
+	}
+	in.Floats["dense"] = dense
+	for i := 0; i < 3; i++ {
+		in.IDs[fmt.Sprintf("ids%d", i)] = []int{r.Intn(16)}
+	}
+	return in
+}
+
+func gptInput(seed int64) *Input {
+	r := rand.New(rand.NewSource(seed))
+	in := NewInput()
+	ids := make([]int, 4)
+	for i := range ids {
+		ids[i] = r.Intn(32)
+	}
+	in.IDs["ids"] = ids
+	in.IDs["pos"] = []int{0, 1, 2, 3}
+	return in
+}
+
+func diffusionInput(seed int64) *Input {
+	r := rand.New(rand.NewSource(seed))
+	in := NewInput()
+	latent := make([]float64, 4*4*2)
+	for i := range latent {
+		latent[i] = r.Float64()*2 - 1
+	}
+	temb := make([]float64, 4)
+	for i := range temb {
+		temb[i] = r.Float64()*2 - 1
+	}
+	in.Floats["latent"] = latent
+	in.Floats["t_emb"] = temb
+	return in
+}
+
+// MNIST builds the micro MNIST CNN: conv-relu-pool-conv-relu-pool-fc-fc-
+// softmax (the paper's accuracy-optimized MNIST model, reduced input).
+func MNIST() *Graph {
+	g := newGraph("mnist", InputSpec{Name: "image", Shape: []int{12, 12, 1}, Kind: FloatInput})
+	w := newWeightRNG(g.Name)
+	g.node(Node{Op: "conv2d", Inputs: []string{"image"}, Output: "c1",
+		Weight: w.dense(g, "k1", 9, 3, 3, 1, 4), Bias: w.affine(g, "b1", 4, 0), Stride: 1, Pad: "valid"})
+	g.node(Node{Op: "relu", Inputs: []string{"c1"}, Output: "r1"})
+	g.node(Node{Op: "max_pool", Inputs: []string{"r1"}, Output: "p1", PoolK: 2, Stride: 2})
+	g.node(Node{Op: "conv2d", Inputs: []string{"p1"}, Output: "c2",
+		Weight: w.dense(g, "k2", 36, 3, 3, 4, 8), Bias: w.affine(g, "b2", 8, 0), Stride: 1, Pad: "valid"})
+	g.node(Node{Op: "relu", Inputs: []string{"c2"}, Output: "r2"})
+	g.node(Node{Op: "reshape", Inputs: []string{"r2"}, Output: "flat", Shape: []int{1, 3 * 3 * 8}})
+	g.node(Node{Op: "fc", Inputs: []string{"flat"}, Output: "h",
+		Weight: w.dense(g, "w3", 72, 16, 72), Bias: w.affine(g, "b3", 16, 0)})
+	g.node(Node{Op: "relu", Inputs: []string{"h"}, Output: "hr"})
+	g.node(Node{Op: "fc", Inputs: []string{"hr"}, Output: "logits",
+		Weight: w.dense(g, "w4", 16, 10, 16), Bias: w.affine(g, "b4", 10, 0)})
+	g.node(Node{Op: "softmax", Inputs: []string{"logits"}, Output: "probs"})
+	g.Outputs = []string{"probs"}
+	return g
+}
+
+// VGGMicro builds the VGG-16 stand-in: stacked 3x3 conv pairs with pooling
+// and a two-layer FC head.
+func VGGMicro() *Graph {
+	g := newGraph("vgg-micro", InputSpec{Name: "image", Shape: []int{8, 8, 3}, Kind: FloatInput})
+	w := newWeightRNG(g.Name)
+	g.node(Node{Op: "conv2d", Inputs: []string{"image"}, Output: "c1",
+		Weight: w.dense(g, "k1", 27, 3, 3, 3, 8), Bias: w.affine(g, "b1", 8, 0), Stride: 1, Pad: "same"})
+	g.node(Node{Op: "relu", Inputs: []string{"c1"}, Output: "r1"})
+	g.node(Node{Op: "conv2d", Inputs: []string{"r1"}, Output: "c2",
+		Weight: w.dense(g, "k2", 72, 3, 3, 8, 8), Bias: w.affine(g, "b2", 8, 0), Stride: 1, Pad: "same"})
+	g.node(Node{Op: "relu", Inputs: []string{"c2"}, Output: "r2"})
+	g.node(Node{Op: "max_pool", Inputs: []string{"r2"}, Output: "p1", PoolK: 2, Stride: 2})
+	g.node(Node{Op: "conv2d", Inputs: []string{"p1"}, Output: "c3",
+		Weight: w.dense(g, "k3", 72, 3, 3, 8, 16), Bias: w.affine(g, "b3", 16, 0), Stride: 1, Pad: "same"})
+	g.node(Node{Op: "relu", Inputs: []string{"c3"}, Output: "r3"})
+	g.node(Node{Op: "max_pool", Inputs: []string{"r3"}, Output: "p2", PoolK: 2, Stride: 2})
+	g.node(Node{Op: "reshape", Inputs: []string{"p2"}, Output: "flat", Shape: []int{1, 2 * 2 * 16}})
+	g.node(Node{Op: "fc", Inputs: []string{"flat"}, Output: "h",
+		Weight: w.dense(g, "w4", 64, 32, 64), Bias: w.affine(g, "b4", 32, 0)})
+	g.node(Node{Op: "relu", Inputs: []string{"h"}, Output: "hr"})
+	g.node(Node{Op: "fc", Inputs: []string{"hr"}, Output: "logits",
+		Weight: w.dense(g, "w5", 32, 10, 32), Bias: w.affine(g, "b5", 10, 0)})
+	g.node(Node{Op: "softmax", Inputs: []string{"logits"}, Output: "probs"})
+	g.Outputs = []string{"probs"}
+	return g
+}
+
+// ResNetMicro builds the ResNet-18 stand-in: an input conv followed by two
+// residual basic blocks, global average pooling, and an FC classifier.
+func ResNetMicro() *Graph {
+	g := newGraph("resnet-micro", InputSpec{Name: "image", Shape: []int{8, 8, 3}, Kind: FloatInput})
+	w := newWeightRNG(g.Name)
+	g.node(Node{Op: "conv2d", Inputs: []string{"image"}, Output: "c0",
+		Weight: w.dense(g, "k0", 27, 3, 3, 3, 8), Bias: w.affine(g, "bb0", 8, 0), Stride: 1, Pad: "same"})
+	g.node(Node{Op: "relu", Inputs: []string{"c0"}, Output: "t0"})
+	prev := "t0"
+	for blk := 1; blk <= 2; blk++ {
+		a := fmt.Sprintf("blk%d_a", blk)
+		b := fmt.Sprintf("blk%d_b", blk)
+		g.node(Node{Op: "conv2d", Inputs: []string{prev}, Output: a + "c",
+			Weight: w.dense(g, a+"k", 72, 3, 3, 8, 8), Bias: w.affine(g, a+"b", 8, 0), Stride: 1, Pad: "same"})
+		g.node(Node{Op: "relu", Inputs: []string{a + "c"}, Output: a + "r"})
+		g.node(Node{Op: "conv2d", Inputs: []string{a + "r"}, Output: b + "c",
+			Weight: w.dense(g, b+"k", 72, 3, 3, 8, 8), Bias: w.affine(g, b+"b", 8, 0), Stride: 1, Pad: "same"})
+		g.node(Node{Op: "add", Inputs: []string{b + "c", prev}, Output: b + "s"})
+		g.node(Node{Op: "relu", Inputs: []string{b + "s"}, Output: b + "o"})
+		prev = b + "o"
+	}
+	g.node(Node{Op: "global_avg_pool", Inputs: []string{prev}, Output: "gap"})
+	g.node(Node{Op: "reshape", Inputs: []string{"gap"}, Output: "gapr", Shape: []int{1, 8}})
+	g.node(Node{Op: "fc", Inputs: []string{"gapr"}, Output: "logits",
+		Weight: w.dense(g, "wfc", 8, 10, 8), Bias: w.affine(g, "bfc", 10, 0)})
+	g.node(Node{Op: "softmax", Inputs: []string{"logits"}, Output: "probs"})
+	g.Outputs = []string{"probs"}
+	return g
+}
+
+// MobileNetMicro builds the MobileNet v2 stand-in: an input conv plus an
+// inverted-residual block (1x1 expand, 3x3 depthwise, 1x1 project,
+// residual) with ReLU6, then pooling and a classifier.
+func MobileNetMicro() *Graph {
+	g := newGraph("mobilenet-micro", InputSpec{Name: "image", Shape: []int{8, 8, 3}, Kind: FloatInput})
+	w := newWeightRNG(g.Name)
+	g.node(Node{Op: "conv2d", Inputs: []string{"image"}, Output: "c0",
+		Weight: w.dense(g, "k0", 27, 3, 3, 3, 8), Bias: w.affine(g, "b0", 8, 0), Stride: 1, Pad: "same"})
+	g.node(Node{Op: "relu6", Inputs: []string{"c0"}, Output: "t0"})
+	// Inverted residual: expand 8->16, depthwise 3x3, project 16->8.
+	g.node(Node{Op: "conv2d", Inputs: []string{"t0"}, Output: "exp",
+		Weight: w.dense(g, "ke", 8, 1, 1, 8, 16), Bias: w.affine(g, "be", 16, 0), Stride: 1, Pad: "same"})
+	g.node(Node{Op: "relu6", Inputs: []string{"exp"}, Output: "expr"})
+	g.node(Node{Op: "depthwise_conv2d", Inputs: []string{"expr"}, Output: "dw",
+		Weight: w.dense(g, "kd", 9, 3, 3, 16), Bias: w.affine(g, "bd", 16, 0), Stride: 1, Pad: "same"})
+	g.node(Node{Op: "relu6", Inputs: []string{"dw"}, Output: "dwr"})
+	g.node(Node{Op: "conv2d", Inputs: []string{"dwr"}, Output: "proj",
+		Weight: w.dense(g, "kp", 16, 1, 1, 16, 8), Bias: w.affine(g, "bp", 8, 0), Stride: 1, Pad: "same"})
+	g.node(Node{Op: "add", Inputs: []string{"proj", "t0"}, Output: "res"})
+	g.node(Node{Op: "global_avg_pool", Inputs: []string{"res"}, Output: "gap"})
+	g.node(Node{Op: "reshape", Inputs: []string{"gap"}, Output: "gapr", Shape: []int{1, 8}})
+	g.node(Node{Op: "fc", Inputs: []string{"gapr"}, Output: "logits",
+		Weight: w.dense(g, "wfc", 8, 10, 8), Bias: w.affine(g, "bfc", 10, 0)})
+	g.node(Node{Op: "softmax", Inputs: []string{"logits"}, Output: "probs"})
+	g.Outputs = []string{"probs"}
+	return g
+}
+
+// DLRMMicro builds the Facebook DLRM stand-in: bottom MLP over dense
+// features, embedding lookups for sparse features, pairwise dot-product
+// interactions, and a top MLP with a sigmoid head.
+func DLRMMicro() *Graph {
+	g := newGraph("dlrm-micro",
+		InputSpec{Name: "dense", Shape: []int{4}, Kind: FloatInput},
+		InputSpec{Name: "ids0", Shape: []int{1}, Kind: IDInput},
+		InputSpec{Name: "ids1", Shape: []int{1}, Kind: IDInput},
+		InputSpec{Name: "ids2", Shape: []int{1}, Kind: IDInput},
+	)
+	w := newWeightRNG(g.Name)
+	g.node(Node{Op: "reshape", Inputs: []string{"dense"}, Output: "d0", Shape: []int{1, 4}})
+	g.node(Node{Op: "fc", Inputs: []string{"d0"}, Output: "bm1",
+		Weight: w.dense(g, "wb1", 4, 8, 4), Bias: w.affine(g, "bb1", 8, 0)})
+	g.node(Node{Op: "relu", Inputs: []string{"bm1"}, Output: "bm1r"})
+	g.node(Node{Op: "fc", Inputs: []string{"bm1r"}, Output: "bm2",
+		Weight: w.dense(g, "wb2", 8, 4, 8), Bias: w.affine(g, "bb2", 4, 0)})
+	g.node(Node{Op: "relu", Inputs: []string{"bm2"}, Output: "dvec"})
+	for i := 0; i < 3; i++ {
+		g.node(Node{Op: "embed", Inputs: []string{fmt.Sprintf("ids%d", i)}, Output: fmt.Sprintf("e%d", i),
+			Weight: w.dense(g, fmt.Sprintf("emb%d", i), 4, 16, 4)})
+	}
+	// Stack the four vectors and take pairwise dot products X·X^T.
+	g.node(Node{Op: "concat", Inputs: []string{"dvec", "e0", "e1", "e2"}, Output: "stack", Axis: 0})
+	g.node(Node{Op: "transpose", Inputs: []string{"stack"}, Output: "stackT", Perm: []int{1, 0}})
+	g.node(Node{Op: "matmul", Inputs: []string{"stack", "stackT"}, Output: "inter"})
+	g.node(Node{Op: "reshape", Inputs: []string{"inter"}, Output: "interf", Shape: []int{1, 16}})
+	g.node(Node{Op: "concat", Inputs: []string{"d0", "interf"}, Output: "feat", Axis: 1})
+	g.node(Node{Op: "fc", Inputs: []string{"feat"}, Output: "t1",
+		Weight: w.dense(g, "wt1", 20, 8, 20), Bias: w.affine(g, "bt1", 8, 0)})
+	g.node(Node{Op: "relu", Inputs: []string{"t1"}, Output: "t1r"})
+	g.node(Node{Op: "fc", Inputs: []string{"t1r"}, Output: "t2",
+		Weight: w.dense(g, "wt2", 8, 1, 8), Bias: w.affine(g, "bt2", 1, 0)})
+	g.node(Node{Op: "sigmoid", Inputs: []string{"t2"}, Output: "score"})
+	g.Outputs = []string{"score"}
+	return g
+}
+
+// TwitterMicro builds the MaskNet stand-in (the model in Twitter's
+// recommendation stack): serial mask blocks, each computing an
+// instance-guided mask through a two-layer bottleneck and multiplying it
+// into the layer-normalized features.
+func TwitterMicro() *Graph {
+	g := newGraph("twitter-micro", InputSpec{Name: "features", Shape: []int{16}, Kind: FloatInput})
+	w := newWeightRNG(g.Name)
+	g.node(Node{Op: "reshape", Inputs: []string{"features"}, Output: "x", Shape: []int{1, 16}})
+	g.node(Node{Op: "layer_norm", Inputs: []string{"x"}, Output: "ln",
+		Weight: w.affine(g, "lng", 16, 1), Bias: w.affine(g, "lnb", 16, 0)})
+	prev := "ln"
+	for blk := 1; blk <= 2; blk++ {
+		p := fmt.Sprintf("mb%d_", blk)
+		g.node(Node{Op: "fc", Inputs: []string{"x"}, Output: p + "agg",
+			Weight: w.dense(g, p+"wa", 16, 32, 16), Bias: w.affine(g, p+"ba", 32, 0)})
+		g.node(Node{Op: "relu", Inputs: []string{p + "agg"}, Output: p + "aggr"})
+		g.node(Node{Op: "fc", Inputs: []string{p + "aggr"}, Output: p + "mask",
+			Weight: w.dense(g, p+"wm", 32, 16, 32), Bias: w.affine(g, p+"bm", 16, 1)})
+		g.node(Node{Op: "mul", Inputs: []string{prev, p + "mask"}, Output: p + "masked"})
+		g.node(Node{Op: "fc", Inputs: []string{p + "masked"}, Output: p + "h",
+			Weight: w.dense(g, p+"wh", 16, 16, 16), Bias: w.affine(g, p+"bh", 16, 0)})
+		g.node(Node{Op: "layer_norm", Inputs: []string{p + "h"}, Output: p + "hln",
+			Weight: w.affine(g, p+"hg", 16, 1), Bias: w.affine(g, p+"hb", 16, 0)})
+		g.node(Node{Op: "relu", Inputs: []string{p + "hln"}, Output: p + "out"})
+		prev = p + "out"
+	}
+	g.node(Node{Op: "fc", Inputs: []string{prev}, Output: "head",
+		Weight: w.dense(g, "wo1", 16, 8, 16), Bias: w.affine(g, "bo1", 8, 0)})
+	g.node(Node{Op: "relu", Inputs: []string{"head"}, Output: "headr"})
+	g.node(Node{Op: "fc", Inputs: []string{"headr"}, Output: "logit",
+		Weight: w.dense(g, "wo2", 8, 1, 8), Bias: w.affine(g, "bo2", 1, 0)})
+	g.node(Node{Op: "sigmoid", Inputs: []string{"logit"}, Output: "score"})
+	g.Outputs = []string{"score"}
+	return g
+}
+
+// GPT2Micro builds the distilled-GPT-2 stand-in: token + positional
+// embeddings, one pre-LN transformer block with 2-head self-attention
+// (BatchMatMul + scaled softmax), a GELU MLP, and a language-model head.
+func GPT2Micro() *Graph {
+	const (
+		seq   = 4
+		d     = 8
+		heads = 2
+		dk    = d / heads
+		vocab = 32
+		mlp   = 16
+	)
+	g := newGraph("gpt2-micro",
+		InputSpec{Name: "ids", Shape: []int{seq}, Kind: IDInput},
+		InputSpec{Name: "pos", Shape: []int{seq}, Kind: IDInput},
+	)
+	w := newWeightRNG(g.Name)
+	g.node(Node{Op: "embed", Inputs: []string{"ids"}, Output: "tok",
+		Weight: w.dense(g, "wte", d, vocab, d)})
+	g.node(Node{Op: "embed", Inputs: []string{"pos"}, Output: "posv",
+		Weight: w.dense(g, "wpe", d, seq, d)})
+	g.node(Node{Op: "add", Inputs: []string{"tok", "posv"}, Output: "x"})
+	g.node(Node{Op: "layer_norm", Inputs: []string{"x"}, Output: "ln1",
+		Weight: w.affine(g, "ln1g", d, 1), Bias: w.affine(g, "ln1b", d, 0)})
+	for _, name := range []string{"q", "k", "v"} {
+		g.node(Node{Op: "fc", Inputs: []string{"ln1"}, Output: name,
+			Weight: w.dense(g, "w"+name, d, d, d), Bias: w.affine(g, "b"+name, d, 0)})
+		// [seq, d] -> [heads, seq, dk]
+		g.node(Node{Op: "reshape", Inputs: []string{name}, Output: name + "r", Shape: []int{seq, heads, dk}})
+		g.node(Node{Op: "transpose", Inputs: []string{name + "r"}, Output: name + "h", Perm: []int{1, 0, 2}})
+	}
+	g.node(Node{Op: "transpose", Inputs: []string{"kh"}, Output: "kT", Perm: []int{0, 2, 1}})
+	g.node(Node{Op: "batch_matmul", Inputs: []string{"qh", "kT"}, Output: "scores"})
+	g.node(Node{Op: "scale", Inputs: []string{"scores"}, Output: "scaled", Scale: 1 / math.Sqrt(float64(dk))})
+	g.node(Node{Op: "softmax", Inputs: []string{"scaled"}, Output: "probs"})
+	g.node(Node{Op: "batch_matmul", Inputs: []string{"probs", "vh"}, Output: "ctx"})
+	g.node(Node{Op: "transpose", Inputs: []string{"ctx"}, Output: "ctxT", Perm: []int{1, 0, 2}})
+	g.node(Node{Op: "reshape", Inputs: []string{"ctxT"}, Output: "ctxf", Shape: []int{seq, d}})
+	g.node(Node{Op: "fc", Inputs: []string{"ctxf"}, Output: "attn",
+		Weight: w.dense(g, "wo", d, d, d), Bias: w.affine(g, "bo", d, 0)})
+	g.node(Node{Op: "add", Inputs: []string{"x", "attn"}, Output: "res1"})
+	g.node(Node{Op: "layer_norm", Inputs: []string{"res1"}, Output: "ln2",
+		Weight: w.affine(g, "ln2g", d, 1), Bias: w.affine(g, "ln2b", d, 0)})
+	g.node(Node{Op: "fc", Inputs: []string{"ln2"}, Output: "m1",
+		Weight: w.dense(g, "wm1", d, mlp, d), Bias: w.affine(g, "bm1", mlp, 0)})
+	g.node(Node{Op: "gelu", Inputs: []string{"m1"}, Output: "m1g"})
+	g.node(Node{Op: "fc", Inputs: []string{"m1g"}, Output: "m2",
+		Weight: w.dense(g, "wm2", mlp, d, mlp), Bias: w.affine(g, "bm2", d, 0)})
+	g.node(Node{Op: "add", Inputs: []string{"res1", "m2"}, Output: "res2"})
+	g.node(Node{Op: "layer_norm", Inputs: []string{"res2"}, Output: "lnf",
+		Weight: w.affine(g, "lnfg", d, 1), Bias: w.affine(g, "lnfb", d, 0)})
+	g.node(Node{Op: "fc", Inputs: []string{"lnf"}, Output: "logits",
+		Weight: w.dense(g, "wlm", d, vocab, d)})
+	g.Outputs = []string{"logits"}
+	return g
+}
+
+// DiffusionMicro builds the latent-diffusion stand-in: a U-Net style block
+// with SiLU convolutions, a timestep-embedding injection, a self-attention
+// block over spatial positions, and a projection back to the latent space.
+func DiffusionMicro() *Graph {
+	g := newGraph("diffusion-micro",
+		InputSpec{Name: "latent", Shape: []int{4, 4, 2}, Kind: FloatInput},
+		InputSpec{Name: "t_emb", Shape: []int{4}, Kind: FloatInput},
+	)
+	w := newWeightRNG(g.Name)
+	g.node(Node{Op: "conv2d", Inputs: []string{"latent"}, Output: "c1",
+		Weight: w.dense(g, "k1", 18, 3, 3, 2, 4), Bias: w.affine(g, "b1", 4, 0), Stride: 1, Pad: "same"})
+	g.node(Node{Op: "silu", Inputs: []string{"c1"}, Output: "h"})
+	// Timestep embedding: MLP then broadcast-add over channels.
+	g.node(Node{Op: "reshape", Inputs: []string{"t_emb"}, Output: "t0", Shape: []int{1, 4}})
+	g.node(Node{Op: "fc", Inputs: []string{"t0"}, Output: "t1",
+		Weight: w.dense(g, "wt", 4, 4, 4), Bias: w.affine(g, "bt", 4, 0)})
+	g.node(Node{Op: "silu", Inputs: []string{"t1"}, Output: "t2"})
+	g.node(Node{Op: "reshape", Inputs: []string{"t2"}, Output: "t3", Shape: []int{4}})
+	g.node(Node{Op: "add", Inputs: []string{"h", "t3"}, Output: "ht"})
+	// Self-attention over the 16 spatial positions.
+	g.node(Node{Op: "reshape", Inputs: []string{"ht"}, Output: "seq", Shape: []int{16, 4}})
+	g.node(Node{Op: "layer_norm", Inputs: []string{"seq"}, Output: "lnq",
+		Weight: w.affine(g, "lg", 4, 1), Bias: w.affine(g, "lb", 4, 0)})
+	for _, name := range []string{"aq", "ak", "av"} {
+		g.node(Node{Op: "fc", Inputs: []string{"lnq"}, Output: name,
+			Weight: w.dense(g, "w"+name, 4, 4, 4)})
+	}
+	g.node(Node{Op: "transpose", Inputs: []string{"ak"}, Output: "akT", Perm: []int{1, 0}})
+	g.node(Node{Op: "matmul", Inputs: []string{"aq", "akT"}, Output: "att"})
+	g.node(Node{Op: "scale", Inputs: []string{"att"}, Output: "atts", Scale: 0.5})
+	g.node(Node{Op: "softmax", Inputs: []string{"atts"}, Output: "attp"})
+	g.node(Node{Op: "matmul", Inputs: []string{"attp", "av"}, Output: "actx"})
+	g.node(Node{Op: "fc", Inputs: []string{"actx"}, Output: "aproj",
+		Weight: w.dense(g, "wap", 4, 4, 4)})
+	g.node(Node{Op: "add", Inputs: []string{"seq", "aproj"}, Output: "ares"})
+	g.node(Node{Op: "reshape", Inputs: []string{"ares"}, Output: "himg", Shape: []int{4, 4, 4}})
+	g.node(Node{Op: "conv2d", Inputs: []string{"himg"}, Output: "out0",
+		Weight: w.dense(g, "k2", 36, 3, 3, 4, 2), Bias: w.affine(g, "b2", 2, 0), Stride: 1, Pad: "same"})
+	g.node(Node{Op: "add", Inputs: []string{"out0", "latent"}, Output: "out"})
+	g.Outputs = []string{"out"}
+	return g
+}
+
+// Extras lists additional bundled models beyond the paper's Table 5
+// (reachable through Get but excluded from the table-reproduction
+// experiments).
+var Extras = []Spec{
+	{Name: "lstm-micro", Paper: "LSTM sequence classifier (paper Table 2/§4: LSTM support)",
+		Build: LSTMMicro, Input: vecInput("seq", 4*3)},
+}
+
+// LSTMMicro builds a step-unrolled LSTM sequence classifier: a 4-step,
+// 3-feature sequence through a hidden-4 LSTM, with the final hidden state
+// classified by an FC + softmax head.
+func LSTMMicro() *Graph {
+	const (
+		tLen = 4
+		d    = 3
+		h    = 4
+	)
+	g := newGraph("lstm-micro", InputSpec{Name: "seq", Shape: []int{tLen * d}, Kind: FloatInput})
+	w := newWeightRNG(g.Name)
+	g.node(Node{Op: "reshape", Inputs: []string{"seq"}, Output: "x", Shape: []int{tLen, d}})
+	g.node(Node{Op: "lstm", Inputs: []string{"x"}, Output: "hs",
+		Weight:  w.dense(g, "wx", d+h, 4*h, d),
+		Weight2: w.dense(g, "wh", d+h, 4*h, h),
+		Bias:    w.affine(g, "wb", 4*h, 0)})
+	// Take the last hidden state.
+	g.node(Node{Op: "slice", Inputs: []string{"hs"}, Output: "hlast",
+		Starts: []int{tLen - 1, 0}, Ends: []int{tLen, h}})
+	g.node(Node{Op: "fc", Inputs: []string{"hlast"}, Output: "logits",
+		Weight: w.dense(g, "wo", h, 3, h), Bias: w.affine(g, "bo", 3, 0)})
+	g.node(Node{Op: "softmax", Inputs: []string{"logits"}, Output: "probs"})
+	g.Outputs = []string{"probs"}
+	return g
+}

@@ -1,0 +1,234 @@
+package pcs
+
+import (
+	"errors"
+	"math/bits"
+	"sync"
+
+	"repro/internal/curve"
+	"repro/internal/ff"
+	"repro/internal/transcript"
+)
+
+// IPAScheme is a transparent polynomial commitment: a Pedersen vector
+// commitment over a hash-to-curve basis, opened with a Bulletproofs-style
+// inner-product argument. Proofs are 2·log(n) points plus a scalar and
+// verification costs one size-n MSM — the "larger proofs, higher
+// verification time" trade-off Table 7 of the paper reports for IPA.
+type IPAScheme struct {
+	basis []curve.Affine // G_i
+	u     curve.Affine   // inner-product anchor
+	n     int            // padded (power-of-two) vector length
+}
+
+var (
+	ipaMu    sync.Mutex
+	ipaBasis []curve.Affine
+	ipaU     *curve.Affine
+)
+
+// NewIPA returns an IPA scheme supporting polynomials of up to maxLen
+// coefficients (rounded up to a power of two). The basis is derived by
+// hash-to-curve, so no trusted setup exists; basis points are memoized
+// process-wide because derivation dominates setup time.
+func NewIPA(maxLen int) *IPAScheme {
+	n := 1
+	for n < maxLen {
+		n <<= 1
+	}
+	ipaMu.Lock()
+	defer ipaMu.Unlock()
+	if ipaU == nil {
+		u := curve.HashToCurve("ipa-u", 0)
+		ipaU = &u
+	}
+	for len(ipaBasis) < n {
+		ipaBasis = append(ipaBasis, curve.HashToCurve("ipa-basis", len(ipaBasis)))
+	}
+	return &IPAScheme{basis: ipaBasis[:n], u: *ipaU, n: n}
+}
+
+// Backend implements Scheme.
+func (s *IPAScheme) Backend() Backend { return IPA }
+
+// MaxLen implements Scheme.
+func (s *IPAScheme) MaxLen() int { return s.n }
+
+// Commit implements Scheme.
+func (s *IPAScheme) Commit(p []ff.Element) curve.Affine {
+	if len(p) > s.n {
+		panic("pcs: polynomial exceeds IPA basis size")
+	}
+	c := curve.MSM(s.basis[:len(p)], p)
+	return c.ToAffine()
+}
+
+// Open implements Scheme. The recursion folds vectors a (coefficients) and
+// b (powers of z) along with the basis; each round emits cross terms L, R.
+func (s *IPAScheme) Open(tr *transcript.Transcript, p []ff.Element, z ff.Element) *Opening {
+	a := make([]ff.Element, s.n)
+	copy(a, p)
+	b := make([]ff.Element, s.n)
+	acc := ff.One()
+	for i := range b {
+		b[i] = acc
+		acc.Mul(&acc, &z)
+	}
+	g := make([]curve.Jac, s.n)
+	for i := range g {
+		g[i] = s.basis[i].ToJac()
+	}
+	uj := s.u.ToJac()
+
+	rounds := bits.TrailingZeros(uint(s.n))
+	proof := &Opening{L: make([]curve.Affine, 0, rounds), R: make([]curve.Affine, 0, rounds)}
+	n := s.n
+	for n > 1 {
+		h := n / 2
+		cl := innerProduct(a[:h], b[h:n])
+		cr := innerProduct(a[h:n], b[:h])
+		// L = <a_lo, G_hi> + c_L·U ; R = <a_hi, G_lo> + c_R·U.
+		gHi := curve.BatchToAffine(g[h:n])
+		gLo := curve.BatchToAffine(g[:h])
+		l := curve.MSM(gHi, a[:h])
+		t := curve.ScalarMul(&s.u, &cl)
+		l.AddAssign(&t)
+		r := curve.MSM(gLo, a[h:n])
+		t = curve.ScalarMul(&s.u, &cr)
+		r.AddAssign(&t)
+		_ = uj
+
+		la, ra := l.ToAffine(), r.ToAffine()
+		tr.AppendPoint("ipa-L", la)
+		tr.AppendPoint("ipa-R", ra)
+		proof.L = append(proof.L, la)
+		proof.R = append(proof.R, ra)
+
+		x := tr.Challenge("ipa-x")
+		var xInv ff.Element
+		xInv.Inverse(&x)
+		for i := 0; i < h; i++ {
+			// a' = x·a_lo + x^{-1}·a_hi
+			var t1, t2 ff.Element
+			t1.Mul(&x, &a[i])
+			t2.Mul(&xInv, &a[i+h])
+			a[i].Add(&t1, &t2)
+			// b' = x^{-1}·b_lo + x·b_hi
+			t1.Mul(&xInv, &b[i])
+			t2.Mul(&x, &b[i+h])
+			b[i].Add(&t1, &t2)
+			// G' = x^{-1}·G_lo + x·G_hi
+			lo := scalarMulJac(&g[i], &xInv)
+			hi := scalarMulJac(&g[i+h], &x)
+			lo.AddAssign(&hi)
+			g[i] = lo
+		}
+		n = h
+	}
+	proof.A = a[0]
+	tr.AppendScalar("ipa-a", proof.A)
+	return proof
+}
+
+// Verify implements Scheme.
+func (s *IPAScheme) Verify(tr *transcript.Transcript, c curve.Affine, z, y ff.Element, o *Opening) error {
+	rounds := bits.TrailingZeros(uint(s.n))
+	if len(o.L) != rounds || len(o.R) != rounds {
+		return errors.New("pcs: IPA proof has wrong number of rounds")
+	}
+	// P_0 = C + y·U.
+	p := c.ToJac()
+	t := curve.ScalarMul(&s.u, &y)
+	p.AddAssign(&t)
+
+	xs := make([]ff.Element, rounds)
+	xInvs := make([]ff.Element, rounds)
+	for j := 0; j < rounds; j++ {
+		tr.AppendPoint("ipa-L", o.L[j])
+		tr.AppendPoint("ipa-R", o.R[j])
+		xs[j] = tr.Challenge("ipa-x")
+		xInvs[j] = xs[j]
+	}
+	ff.BatchInverse(xInvs)
+	tr.AppendScalar("ipa-a", o.A)
+
+	// P_final = P_0 + sum x_j^2 L_j + x_j^{-2} R_j.
+	for j := 0; j < rounds; j++ {
+		var x2, xInv2 ff.Element
+		x2.Square(&xs[j])
+		xInv2.Square(&xInvs[j])
+		tl := curve.ScalarMul(&o.L[j], &x2)
+		tr2 := curve.ScalarMul(&o.R[j], &xInv2)
+		p.AddAssign(&tl)
+		p.AddAssign(&tr2)
+	}
+
+	// s_i = prod_j (bit(i, rounds-1-j) ? x_j : x_j^{-1}).
+	sv := make([]ff.Element, s.n)
+	sv[0] = ff.One()
+	for j := 0; j < rounds; j++ {
+		sv[0].Mul(&sv[0], &xInvs[j])
+	}
+	// Build by bit-flip DP: s[i] = s[i without top set bit] * x_j^2 for the
+	// corresponding round j.
+	for i := 1; i < s.n; i++ {
+		top := bits.Len(uint(i)) - 1 // highest set bit position
+		j := rounds - 1 - top        // round index for that bit
+		var x2 ff.Element
+		x2.Square(&xs[j])
+		prev := i &^ (1 << uint(top))
+		sv[i].Mul(&sv[prev], &x2)
+	}
+	gFinal := curve.MSM(s.basis, sv)
+
+	// b_final = prod_j (x_j^{-1} + x_j z^(n/2^(j+1))).
+	bFinal := ff.One()
+	exp := s.n / 2
+	zp := z
+	// Precompute z^(2^k) values indexed by exponent.
+	zPows := map[int]ff.Element{1: z}
+	for e := 2; e <= s.n/2; e <<= 1 {
+		var sq ff.Element
+		sq.Square(&zp)
+		zp = sq
+		zPows[e] = zp
+	}
+	for j := 0; j < rounds; j++ {
+		var term ff.Element
+		zpj := zPows[exp]
+		term.Mul(&xs[j], &zpj)
+		term.Add(&term, &xInvs[j])
+		bFinal.Mul(&bFinal, &term)
+		exp /= 2
+	}
+	if s.n == 1 {
+		bFinal = ff.One()
+	}
+
+	// Check P_final == a·G_final + a·b_final·U.
+	rhs := gFinal
+	var ab ff.Element
+	ab.Mul(&o.A, &bFinal)
+	ru := curve.ScalarMul(&s.u, &ab)
+	rhsScaled := scalarMulJac(&rhs, &o.A)
+	rhsScaled.AddAssign(&ru)
+	pa, ra := p.ToAffine(), rhsScaled.ToAffine()
+	if !pa.Equal(&ra) {
+		return errors.New("pcs: IPA opening verification failed")
+	}
+	return nil
+}
+
+func innerProduct(a, b []ff.Element) ff.Element {
+	var acc, t ff.Element
+	for i := range a {
+		t.Mul(&a[i], &b[i])
+		acc.Add(&acc, &t)
+	}
+	return acc
+}
+
+func scalarMulJac(p *curve.Jac, s *ff.Element) curve.Jac {
+	a := p.ToAffine()
+	return curve.ScalarMul(&a, s)
+}

@@ -1,0 +1,153 @@
+package pcs
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/curve"
+	"repro/internal/ff"
+	"repro/internal/poly"
+	"repro/internal/transcript"
+)
+
+// KZGScheme is the KZG polynomial commitment: commitments are MSMs against
+// a powers-of-tau SRS; an opening at z is a single quotient-witness
+// commitment.
+//
+// Substitution note (see DESIGN.md §4): the production verification
+// equation e(C - y·G, H) = e(pi, (tau - z)·H) needs BN254 pairings, which
+// are out of scope for this stdlib-only build. The verifier instead checks
+// the identical algebraic relation (tau - z)·pi == C - y·G directly in G1
+// using the setup trapdoor retained in the SRS — the same proofs, prover
+// cost, and proof sizes as real KZG, with a test-oracle verifier.
+type KZGScheme struct {
+	powers []curve.Affine // tau^i * G
+	tau    ff.Element     // trapdoor (simulation oracle; see note above)
+	g      curve.Affine
+}
+
+var (
+	kzgMu     sync.Mutex
+	kzgShared *KZGScheme // grown on demand; SRS generation is the slow part
+)
+
+// NewKZG returns a KZG scheme supporting polynomials of up to maxLen
+// coefficients. SRS generation is deterministic per process and shared
+// across instances (a per-process "ceremony").
+func NewKZG(maxLen int) *KZGScheme {
+	kzgMu.Lock()
+	defer kzgMu.Unlock()
+	if kzgShared == nil {
+		// The trapdoor is a fixed public derivation standing in for the
+		// perpetual-powers-of-tau ceremony artifact (one SRS shared by
+		// every prover and verifier). A production deployment would load
+		// the ceremony's SRS instead; see the type doc for the
+		// verification-oracle substitution this build makes anyway.
+		tau := ff.HashToField([]byte("zkml-go/powers-of-tau-stand-in/v1"))
+		kzgShared = &KZGScheme{tau: tau, g: curve.Generator()}
+	}
+	if len(kzgShared.powers) < maxLen {
+		kzgShared.extend(maxLen)
+	}
+	return &KZGScheme{powers: kzgShared.powers[:maxLen], tau: kzgShared.tau, g: kzgShared.g}
+}
+
+// extend grows the SRS to maxLen powers using a fixed-base comb table for
+// the generator (32 mixed additions per power instead of a full double-and-
+// add ladder).
+func (k *KZGScheme) extend(maxLen int) {
+	table := fixedBaseTable(k.g)
+	start := len(k.powers)
+	jacs := make([]curve.Jac, maxLen-start)
+	// tauPow = tau^start
+	tauPow := ff.One()
+	for i := 0; i < start; i++ {
+		tauPow.Mul(&tauPow, &k.tau)
+	}
+	for i := range jacs {
+		jacs[i] = table.mul(&tauPow)
+		tauPow.Mul(&tauPow, &k.tau)
+	}
+	k.powers = append(k.powers, curve.BatchToAffine(jacs)...)
+}
+
+// fixedBase is a w=8 comb table: multiples[w][d] = d * 2^(8w) * G.
+type fixedBase struct {
+	windows [32][256]curve.Affine
+}
+
+func fixedBaseTable(g curve.Affine) *fixedBase {
+	t := &fixedBase{}
+	base := g.ToJac()
+	for w := 0; w < 32; w++ {
+		var acc curve.Jac
+		jacs := make([]curve.Jac, 256)
+		for d := 0; d < 256; d++ {
+			jacs[d] = acc
+			acc.AddAssign(&base)
+		}
+		aff := curve.BatchToAffine(jacs)
+		copy(t.windows[w][:], aff)
+		base = acc // base *= 2^8 after 256 additions
+	}
+	return t
+}
+
+func (t *fixedBase) mul(s *ff.Element) curve.Jac {
+	b := s.Bytes() // big-endian 32 bytes
+	var acc curve.Jac
+	for w := 0; w < 32; w++ {
+		d := b[31-w] // little-endian byte w
+		if d != 0 {
+			acc.AddMixed(&t.windows[w][d])
+		}
+	}
+	return acc
+}
+
+// Backend implements Scheme.
+func (k *KZGScheme) Backend() Backend { return KZG }
+
+// MaxLen implements Scheme.
+func (k *KZGScheme) MaxLen() int { return len(k.powers) }
+
+// Commit implements Scheme.
+func (k *KZGScheme) Commit(p []ff.Element) curve.Affine {
+	if len(p) > len(k.powers) {
+		panic("pcs: polynomial exceeds SRS size")
+	}
+	c := curve.MSM(k.powers[:len(p)], p)
+	return c.ToAffine()
+}
+
+// Open implements Scheme: pi = Commit((p - p(z)) / (X - z)).
+func (k *KZGScheme) Open(tr *transcript.Transcript, p []ff.Element, z ff.Element) *Opening {
+	y := poly.Eval(p, z)
+	shifted := append([]ff.Element(nil), p...)
+	if len(shifted) == 0 {
+		shifted = []ff.Element{ff.Zero()}
+	}
+	shifted[0].Sub(&shifted[0], &y)
+	q := poly.DivideByLinear(shifted, z)
+	pi := k.Commit(q)
+	tr.AppendPoint("kzg-witness", pi)
+	return &Opening{KZGWitness: pi}
+}
+
+// Verify implements Scheme, checking (tau - z)·pi == C - y·G in G1 (the
+// trapdoor form of the pairing equation; see type doc).
+func (k *KZGScheme) Verify(tr *transcript.Transcript, c curve.Affine, z, y ff.Element, o *Opening) error {
+	tr.AppendPoint("kzg-witness", o.KZGWitness)
+	var s ff.Element
+	s.Sub(&k.tau, &z)
+	lhs := curve.ScalarMul(&o.KZGWitness, &s)
+	yG := curve.ScalarMul(&k.g, &y)
+	rhs := c.ToJac()
+	yG.NegAssign()
+	rhs.AddAssign(&yG)
+	la, ra := lhs.ToAffine(), rhs.ToAffine()
+	if !la.Equal(&ra) {
+		return errors.New("pcs: KZG opening verification failed")
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package plonkish
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/curve"
+	"repro/internal/ff"
+	"repro/internal/pcs"
+)
+
+// Proof wire format: a version byte, then length-prefixed sections of
+// 32-byte compressed points and 32-byte scalars. The verifier revalidates
+// every decoded point against the curve equation.
+
+const proofVersion = 1
+
+// MarshalBinary serializes the proof.
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(proofVersion)
+	writePoints := func(pts []curve.Affine) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(pts)))
+		buf.Write(n[:])
+		for _, pt := range pts {
+			b := pt.Bytes()
+			buf.Write(b[:])
+		}
+	}
+	writeScalars := func(ss []ff.Element) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(ss)))
+		buf.Write(n[:])
+		for _, s := range ss {
+			b := s.Bytes()
+			buf.Write(b[:])
+		}
+	}
+	writePoints(p.AdviceCommits)
+	writePoints(p.MCommits)
+	writePoints(p.PhiCommits)
+	writePoints(p.ZCommits)
+	writePoints(p.QuotientCommits)
+	writeScalars(p.Evals)
+	writeScalars(p.QuotientEvals)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(p.Openings)))
+	buf.Write(n[:])
+	for _, o := range p.Openings {
+		writePoints([]curve.Affine{o.KZGWitness})
+		writePoints(o.L)
+		writePoints(o.R)
+		writeScalars([]ff.Element{o.A})
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary deserializes a proof, validating every curve point.
+func (p *Proof) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	ver, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("plonkish: proof truncated: %w", err)
+	}
+	if ver != proofVersion {
+		return fmt.Errorf("plonkish: unsupported proof version %d", ver)
+	}
+	readLen := func() (int, error) {
+		var n [4]byte
+		if _, err := io.ReadFull(r, n[:]); err != nil {
+			return 0, err
+		}
+		l := binary.BigEndian.Uint32(n[:])
+		if int(l) > r.Len() {
+			return 0, fmt.Errorf("plonkish: length %d exceeds remaining data", l)
+		}
+		return int(l), nil
+	}
+	readPoints := func() ([]curve.Affine, error) {
+		n, err := readLen()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]curve.Affine, n)
+		for i := range out {
+			var b [32]byte
+			if _, err := io.ReadFull(r, b[:]); err != nil {
+				return nil, err
+			}
+			if err := out[i].SetBytes(b); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	readScalars := func() ([]ff.Element, error) {
+		n, err := readLen()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]ff.Element, n)
+		for i := range out {
+			var b [32]byte
+			if _, err := io.ReadFull(r, b[:]); err != nil {
+				return nil, err
+			}
+			out[i].SetBytes(b[:])
+		}
+		return out, nil
+	}
+	if p.AdviceCommits, err = readPoints(); err != nil {
+		return err
+	}
+	if p.MCommits, err = readPoints(); err != nil {
+		return err
+	}
+	if p.PhiCommits, err = readPoints(); err != nil {
+		return err
+	}
+	if p.ZCommits, err = readPoints(); err != nil {
+		return err
+	}
+	if p.QuotientCommits, err = readPoints(); err != nil {
+		return err
+	}
+	if p.Evals, err = readScalars(); err != nil {
+		return err
+	}
+	if p.QuotientEvals, err = readScalars(); err != nil {
+		return err
+	}
+	nOpen, err := readLen()
+	if err != nil {
+		return err
+	}
+	p.Openings = make([]*pcs.Opening, nOpen)
+	for i := range p.Openings {
+		o := &pcs.Opening{}
+		w, err := readPoints()
+		if err != nil {
+			return err
+		}
+		if len(w) != 1 {
+			return fmt.Errorf("plonkish: malformed opening witness")
+		}
+		o.KZGWitness = w[0]
+		if o.L, err = readPoints(); err != nil {
+			return err
+		}
+		if o.R, err = readPoints(); err != nil {
+			return err
+		}
+		a, err := readScalars()
+		if err != nil {
+			return err
+		}
+		if len(a) != 1 {
+			return fmt.Errorf("plonkish: malformed opening scalar")
+		}
+		o.A = a[0]
+		p.Openings[i] = o
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("plonkish: %d trailing bytes in proof", r.Len())
+	}
+	return nil
+}

@@ -1,0 +1,454 @@
+package plonkish
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/curve"
+	"repro/internal/ff"
+	"repro/internal/pcs"
+	"repro/internal/poly"
+	"repro/internal/transcript"
+)
+
+// Witness supplies advice values. Fill is called once per commitment phase;
+// phase-1 fills see the challenges squeezed after phase 0 (used by
+// Freivalds-checked layers).
+type Witness interface {
+	Fill(phase int, challenges []ff.Element, a *Assignment) error
+}
+
+// WitnessFunc adapts a function to the Witness interface.
+type WitnessFunc func(phase int, challenges []ff.Element, a *Assignment) error
+
+// Fill implements Witness.
+func (f WitnessFunc) Fill(phase int, challenges []ff.Element, a *Assignment) error {
+	return f(phase, challenges, a)
+}
+
+// Proof is a complete ZK-SNARK proof of circuit satisfaction.
+type Proof struct {
+	AdviceCommits   []curve.Affine
+	MCommits        []curve.Affine
+	PhiCommits      []curve.Affine
+	ZCommits        []curve.Affine
+	QuotientCommits []curve.Affine
+	Evals           []ff.Element // ordered per VerifyingKey.Queries
+	QuotientEvals   []ff.Element
+	Openings        []*pcs.Opening // one per distinct rotation group
+}
+
+// Size returns the serialized proof size in bytes: 32 bytes per compressed
+// commitment and per scalar, plus the opening proofs. This is the quantity
+// reported in the paper's proof-size columns.
+func (p *Proof) Size() int {
+	n := 32 * (len(p.AdviceCommits) + len(p.MCommits) + len(p.PhiCommits) +
+		len(p.ZCommits) + len(p.QuotientCommits))
+	n += 32 * (len(p.Evals) + len(p.QuotientEvals))
+	for _, o := range p.Openings {
+		n += o.Size()
+	}
+	return n
+}
+
+// Prove produces a proof that the witness satisfies pk's circuit with the
+// given public instance values (one slice per instance column, each at most
+// U values; missing tail values are zero).
+func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
+	cs := pk.CS
+	n, u := pk.N, pk.U
+	if len(instance) != cs.NumInstance {
+		return nil, fmt.Errorf("plonkish: got %d instance columns, want %d", len(instance), cs.NumInstance)
+	}
+
+	a := NewAssignment(cs, n)
+	for i := 0; i < cs.NumFixed; i++ {
+		copy(a.Fixed[i], pk.FixedVals[i])
+	}
+	for i, col := range instance {
+		if len(col) > u {
+			return nil, fmt.Errorf("plonkish: instance column %d has %d values, max %d", i, len(col), u)
+		}
+		copy(a.Instance[i], col)
+	}
+
+	tr := transcript.New("zkml-plonkish")
+	tr.AppendBytes("vk", pk.VK.Digest())
+	for _, col := range instance {
+		tr.AppendScalars("instance", col)
+	}
+
+	proof := &Proof{}
+
+	// Polynomial registry: lagrange values and coefficient form for every
+	// internal polynomial, addressed by Col.
+	lag := map[Col][]ff.Element{}
+	coeff := map[Col][]ff.Element{}
+	register := func(c Col, vals []ff.Element) {
+		lag[c] = vals
+		p := append([]ff.Element(nil), vals...)
+		pk.Domain.IFFT(p)
+		coeff[c] = p
+	}
+	commitCol := func(c Col, label string) curve.Affine {
+		cm := pk.Scheme.Commit(coeff[c])
+		tr.AppendPoint(label, cm)
+		return cm
+	}
+	for i := range pk.FixedVals {
+		lag[FixedCol(i)] = pk.FixedVals[i]
+		coeff[FixedCol(i)] = pk.FixedPolys[i]
+	}
+	for i := range pk.SigmaVals {
+		lag[sigmaCol(i)] = pk.SigmaVals[i]
+		coeff[sigmaCol(i)] = pk.SigmaPolys[i]
+	}
+	for i := 0; i < cs.NumInstance; i++ {
+		register(InstanceCol(i), a.Instance[i])
+	}
+
+	// Advice phases.
+	var challenges []ff.Element
+	proof.AdviceCommits = make([]curve.Affine, cs.NumAdvice)
+	maxPhase := cs.maxPhase()
+	for phase := 0; phase <= maxPhase; phase++ {
+		if err := w.Fill(phase, challenges, a); err != nil {
+			return nil, fmt.Errorf("plonkish: witness fill phase %d: %w", phase, err)
+		}
+		for i := 0; i < cs.NumAdvice; i++ {
+			if cs.phase(i) != phase {
+				continue
+			}
+			for r := u; r < n; r++ {
+				a.Advice[i][r] = ff.Random() // blinding rows
+			}
+			register(AdviceCol(i), a.Advice[i])
+			proof.AdviceCommits[i] = commitCol(AdviceCol(i), "advice")
+		}
+		if phase == 0 && maxPhase > 0 {
+			challenges = make([]ff.Element, cs.NumChallenges)
+			for i := range challenges {
+				challenges[i] = tr.Challenge("phase")
+			}
+		}
+	}
+
+	var arg [3]ff.Element
+	arg[Theta] = tr.Challenge("theta")
+
+	rowCtx := func(row int) *EvalCtx {
+		return &EvalCtx{
+			Get:        func(c Col, rot int) ff.Element { return a.Get(c, row+rot) },
+			Challenges: challenges,
+			Arg:        arg,
+		}
+	}
+
+	// Lookup multiplicities.
+	type lookupData struct {
+		f, t, sel []ff.Element // compressed input, compressed table, selector
+		m         []ff.Element
+	}
+	lookups := make([]lookupData, len(cs.Lookups))
+	proof.MCommits = make([]curve.Affine, len(cs.Lookups))
+	for k, l := range cs.Lookups {
+		ld := &lookups[k]
+		ld.f = make([]ff.Element, n)
+		ld.t = make([]ff.Element, n)
+		ld.sel = make([]ff.Element, n)
+		ld.m = make([]ff.Element, n)
+		tblIdx := map[[32]byte]int{}
+		for r := 0; r < l.TableLen; r++ {
+			v := compressRow(arg[Theta], l.Table, nil, a, r)
+			ld.t[r] = v
+			key := v.Bytes()
+			if _, dup := tblIdx[key]; !dup {
+				tblIdx[key] = r
+			}
+		}
+		for r := 0; r < u; r++ {
+			ctx := rowCtx(r)
+			ld.sel[r] = l.Selector.Eval(ctx)
+			ld.f[r] = compressRow(arg[Theta], nil, l.Inputs, a, r)
+			if ld.sel[r].IsZero() {
+				continue
+			}
+			ti, ok := tblIdx[ld.f[r].Bytes()]
+			if !ok {
+				return nil, fmt.Errorf("plonkish: lookup %q: input at row %d not in table", l.Name, r)
+			}
+			one := ff.One()
+			ld.m[ti].Add(&ld.m[ti], &one)
+		}
+		for r := u; r < n; r++ {
+			ld.m[r] = ff.Random()
+		}
+		register(mCol(k), ld.m)
+		proof.MCommits[k] = commitCol(mCol(k), "lookup-m")
+	}
+
+	arg[Beta] = tr.Challenge("beta")
+	arg[Gamma] = tr.Challenge("gamma")
+
+	// Lookup accumulators phi.
+	proof.PhiCommits = make([]curve.Affine, len(cs.Lookups))
+	for k := range cs.Lookups {
+		ld := &lookups[k]
+		// Batch-invert beta+f and beta+t over active rows.
+		invF := make([]ff.Element, u)
+		invT := make([]ff.Element, u)
+		for r := 0; r < u; r++ {
+			invF[r].Add(&arg[Beta], &ld.f[r])
+			invT[r].Add(&arg[Beta], &ld.t[r])
+		}
+		ff.BatchInverse(invF)
+		ff.BatchInverse(invT)
+		phi := make([]ff.Element, n)
+		for r := 0; r < u; r++ {
+			var term, t2 ff.Element
+			term.Mul(&ld.sel[r], &invF[r])
+			t2.Mul(&ld.m[r], &invT[r])
+			term.Sub(&term, &t2)
+			phi[r+1].Add(&phi[r], &term)
+		}
+		if !phi[u].IsZero() {
+			return nil, fmt.Errorf("plonkish: lookup %d accumulator does not close (witness bug)", k)
+		}
+		for r := u + 1; r < n; r++ {
+			phi[r] = ff.Random()
+		}
+		register(phiCol(k), phi)
+		proof.PhiCommits[k] = commitCol(phiCol(k), "lookup-phi")
+	}
+
+	// Permutation grand products.
+	permActive := len(cs.PermCols()) > 0 && len(cs.Copies) > 0
+	if permActive {
+		permCols := cs.PermCols()
+		chunk := cs.PermChunk()
+		numChunks := cs.NumPermChunks()
+		delta := ff.MultiplicativeGen()
+		dp := make([]ff.Element, len(permCols))
+		acc := ff.One()
+		for i := range dp {
+			dp[i] = acc
+			acc.Mul(&acc, &delta)
+		}
+		omega := pk.Domain.Elements()
+		proof.ZCommits = make([]curve.Affine, numChunks)
+		carry := ff.One()
+		for j := 0; j < numChunks; j++ {
+			lo := j * chunk
+			hi := lo + chunk
+			if hi > len(permCols) {
+				hi = len(permCols)
+			}
+			num := make([]ff.Element, u)
+			den := make([]ff.Element, u)
+			for r := 0; r < u; r++ {
+				num[r] = ff.One()
+				den[r] = ff.One()
+				for i := lo; i < hi; i++ {
+					v := a.Get(permCols[i], r)
+					var idT, sgT, t ff.Element
+					t.Mul(&dp[i], &omega[r])
+					idT.Mul(&arg[Beta], &t)
+					idT.Add(&idT, &v)
+					idT.Add(&idT, &arg[Gamma])
+					num[r].Mul(&num[r], &idT)
+					sgT.Mul(&arg[Beta], &pk.SigmaVals[i][r])
+					sgT.Add(&sgT, &v)
+					sgT.Add(&sgT, &arg[Gamma])
+					den[r].Mul(&den[r], &sgT)
+				}
+			}
+			ff.BatchInverse(den)
+			z := make([]ff.Element, n)
+			z[0] = carry
+			for r := 0; r < u; r++ {
+				var ratio ff.Element
+				ratio.Mul(&num[r], &den[r])
+				z[r+1].Mul(&z[r], &ratio)
+			}
+			carry = z[u]
+			for r := u + 1; r < n; r++ {
+				z[r] = ff.Random()
+			}
+			register(zCol(j), z)
+			proof.ZCommits[j] = commitCol(zCol(j), "perm-z")
+		}
+		if !carry.IsOne() {
+			return nil, fmt.Errorf("plonkish: permutation product != 1 (copy constraint violated)")
+		}
+	}
+
+	y := tr.Challenge("y")
+
+	// Quotient: evaluate the y-combined constraint polynomial on the
+	// extended coset and divide by Z_H pointwise.
+	extN := pk.ExtDomain.N
+	scale := extN / n
+	allQueried := CollectQueries(pk.Constraints...)
+	ext := map[Col][]ff.Element{}
+	for _, q := range allQueried {
+		if _, done := ext[q.Col]; done {
+			continue
+		}
+		p, ok := coeff[q.Col]
+		if !ok {
+			return nil, fmt.Errorf("plonkish: constraint references unassigned column %v/%d", q.Col.Kind, q.Col.Index)
+		}
+		padded := make([]ff.Element, extN)
+		copy(padded, p)
+		pk.ExtDomain.CosetFFT(padded)
+		ext[q.Col] = padded
+	}
+	// X values over the extended coset.
+	xs := make([]ff.Element, extN)
+	g := ff.MultiplicativeGen()
+	xAcc := g
+	for j := 0; j < extN; j++ {
+		xs[j] = xAcc
+		xAcc.Mul(&xAcc, &pk.ExtDomain.Omega)
+	}
+	// Z_H(g·w^j) cycles with period `scale`.
+	zhInv := make([]ff.Element, scale)
+	for j := 0; j < scale; j++ {
+		zhInv[j] = poly.VanishingEval(n, xs[j])
+	}
+	ff.BatchInverse(zhInv)
+
+	numerator := make([]ff.Element, extN)
+	ctx := &EvalCtx{Challenges: challenges, Arg: arg}
+	for j := 0; j < extN; j++ {
+		jj := j
+		ctx.Get = func(c Col, rot int) ff.Element {
+			idx := jj + rot*scale
+			idx = ((idx % extN) + extN) % extN
+			return ext[c][idx]
+		}
+		ctx.X = xs[j]
+		var acc ff.Element
+		for _, con := range pk.Constraints {
+			acc.Mul(&acc, &y)
+			v := con.Eval(ctx)
+			acc.Add(&acc, &v)
+		}
+		numerator[j].Mul(&acc, &zhInv[j%scale])
+	}
+	pk.ExtDomain.CosetIFFT(numerator)
+
+	numPieces := pk.DMax - 1
+	if numPieces < 1 {
+		numPieces = 1
+	}
+	proof.QuotientCommits = make([]curve.Affine, numPieces)
+	pieces := make([][]ff.Element, numPieces)
+	for i := 0; i < numPieces; i++ {
+		lo := i * n
+		hi := lo + n
+		if hi > extN {
+			hi = extN
+		}
+		piece := make([]ff.Element, n)
+		if lo < extN {
+			copy(piece, numerator[lo:hi])
+		}
+		pieces[i] = piece
+		proof.QuotientCommits[i] = pk.Scheme.Commit(piece)
+		tr.AppendPoint("quotient", proof.QuotientCommits[i])
+	}
+	// Sanity: coefficients beyond the committed pieces must vanish, or the
+	// witness does not satisfy the constraints.
+	for j := numPieces * n; j < extN; j++ {
+		if !numerator[j].IsZero() {
+			return nil, fmt.Errorf("plonkish: constraint system unsatisfied (quotient overflow)")
+		}
+	}
+
+	x := tr.Challenge("x")
+
+	// Evaluations at x (and rotations).
+	omega := pk.Domain.Omega
+	pointOf := func(rot int) ff.Element {
+		var w ff.Element
+		w.Exp(&omega, big.NewInt(int64(rot)))
+		w.Mul(&w, &x)
+		return w
+	}
+	proof.Evals = make([]ff.Element, len(pk.Queries))
+	for i, q := range pk.Queries {
+		proof.Evals[i] = poly.Eval(coeff[q.Col], pointOf(q.Rot))
+	}
+	tr.AppendScalars("evals", proof.Evals)
+	proof.QuotientEvals = make([]ff.Element, numPieces)
+	for i := range pieces {
+		proof.QuotientEvals[i] = poly.Eval(pieces[i], x)
+	}
+	tr.AppendScalars("quotient-evals", proof.QuotientEvals)
+
+	v := tr.Challenge("v")
+
+	// Batched openings per rotation group.
+	rots := distinctRots(pk.Queries)
+	proof.Openings = make([]*pcs.Opening, 0, len(rots))
+	for _, rot := range rots {
+		var combined []ff.Element
+		vPow := ff.One()
+		addPoly := func(p []ff.Element) {
+			combined = poly.AddScaled(combined, vPow, p)
+			vPow.Mul(&vPow, &v)
+		}
+		for _, q := range pk.Queries {
+			if q.Rot == rot {
+				addPoly(coeff[q.Col])
+			}
+		}
+		if rot == 0 {
+			for _, piece := range pieces {
+				addPoly(piece)
+			}
+		}
+		proof.Openings = append(proof.Openings, pk.Scheme.Open(tr, combined, pointOf(rot)))
+	}
+	return proof, nil
+}
+
+// compressRow folds either table columns or input expressions at a row with
+// powers of theta.
+func compressRow(theta ff.Element, cols []Col, exprs []Expr, a *Assignment, row int) ff.Element {
+	var vals []ff.Element
+	if cols != nil {
+		vals = make([]ff.Element, len(cols))
+		for i, c := range cols {
+			vals[i] = a.Get(c, row)
+		}
+	} else {
+		ctx := &EvalCtx{Get: func(c Col, rot int) ff.Element { return a.Get(c, row+rot) }}
+		vals = make([]ff.Element, len(exprs))
+		for i, e := range exprs {
+			vals[i] = e.Eval(ctx)
+		}
+	}
+	acc := vals[len(vals)-1]
+	for i := len(vals) - 2; i >= 0; i-- {
+		acc.Mul(&acc, &theta)
+		acc.Add(&acc, &vals[i])
+	}
+	return acc
+}
+
+// distinctRots returns the sorted distinct rotations among the queries.
+func distinctRots(qs []Query) []int {
+	seen := map[int]bool{0: true} // quotient pieces always open at rot 0
+	for _, q := range qs {
+		seen[q.Rot] = true
+	}
+	out := make([]int, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,213 @@
+package plonkish
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/curve"
+	"repro/internal/ff"
+	"repro/internal/poly"
+	"repro/internal/transcript"
+)
+
+// Verify checks a proof against the verifying key and public instance
+// values. It mirrors the prover's transcript exactly, checks the vanishing
+// identity at the evaluation challenge, and verifies all batched openings.
+func Verify(vk *VerifyingKey, instance [][]ff.Element, proof *Proof) error {
+	cs := vk.CS
+	n, u := vk.N, vk.U
+	if len(instance) != cs.NumInstance {
+		return fmt.Errorf("plonkish: got %d instance columns, want %d", len(instance), cs.NumInstance)
+	}
+	for i, col := range instance {
+		if len(col) > u {
+			return fmt.Errorf("plonkish: instance column %d too long", i)
+		}
+	}
+	if len(proof.AdviceCommits) != cs.NumAdvice ||
+		len(proof.MCommits) != len(cs.Lookups) ||
+		len(proof.PhiCommits) != len(cs.Lookups) ||
+		len(proof.Evals) != len(vk.Queries) {
+		return errors.New("plonkish: proof shape mismatch")
+	}
+	permActive := len(cs.PermCols()) > 0 && len(cs.Copies) > 0
+	wantZ := 0
+	if permActive {
+		wantZ = cs.NumPermChunks()
+	}
+	if len(proof.ZCommits) != wantZ {
+		return errors.New("plonkish: proof permutation shape mismatch")
+	}
+	numPieces := vk.DMax - 1
+	if numPieces < 1 {
+		numPieces = 1
+	}
+	if len(proof.QuotientCommits) != numPieces || len(proof.QuotientEvals) != numPieces {
+		return errors.New("plonkish: proof quotient shape mismatch")
+	}
+
+	tr := transcript.New("zkml-plonkish")
+	tr.AppendBytes("vk", vk.Digest())
+	for _, col := range instance {
+		tr.AppendScalars("instance", col)
+	}
+
+	// Mirror advice commitments phase by phase.
+	var challenges []ff.Element
+	maxPhase := cs.maxPhase()
+	for phase := 0; phase <= maxPhase; phase++ {
+		for i := 0; i < cs.NumAdvice; i++ {
+			if cs.phase(i) == phase {
+				tr.AppendPoint("advice", proof.AdviceCommits[i])
+			}
+		}
+		if phase == 0 && maxPhase > 0 {
+			challenges = make([]ff.Element, cs.NumChallenges)
+			for i := range challenges {
+				challenges[i] = tr.Challenge("phase")
+			}
+		}
+	}
+
+	var arg [3]ff.Element
+	arg[Theta] = tr.Challenge("theta")
+	for k := range cs.Lookups {
+		tr.AppendPoint("lookup-m", proof.MCommits[k])
+	}
+	arg[Beta] = tr.Challenge("beta")
+	arg[Gamma] = tr.Challenge("gamma")
+	for k := range cs.Lookups {
+		tr.AppendPoint("lookup-phi", proof.PhiCommits[k])
+	}
+	for _, c := range proof.ZCommits {
+		tr.AppendPoint("perm-z", c)
+	}
+	y := tr.Challenge("y")
+	for _, c := range proof.QuotientCommits {
+		tr.AppendPoint("quotient", c)
+	}
+	x := tr.Challenge("x")
+	tr.AppendScalars("evals", proof.Evals)
+	tr.AppendScalars("quotient-evals", proof.QuotientEvals)
+	v := tr.Challenge("v")
+
+	// Instance column evaluations at x, computed directly from the public
+	// values (O(#instance values) Lagrange evaluations).
+	dom := poly.NewDomain(n)
+	instEval := make([]ff.Element, cs.NumInstance)
+	for i, col := range instance {
+		var acc ff.Element
+		for r, val := range col {
+			if val.IsZero() {
+				continue
+			}
+			l := dom.LagrangeEval(r, x)
+			var t ff.Element
+			t.Mul(&val, &l)
+			acc.Add(&acc, &t)
+		}
+		instEval[i] = acc
+	}
+
+	// Constraint identity at x.
+	evalIdx := map[Query]int{}
+	for i, q := range vk.Queries {
+		evalIdx[q] = i
+	}
+	ctx := &EvalCtx{
+		X:          x,
+		Challenges: challenges,
+		Arg:        arg,
+		Get: func(c Col, rot int) ff.Element {
+			if c.Kind == Instance {
+				return instEval[c.Index]
+			}
+			i, ok := evalIdx[Query{Col: c, Rot: rot}]
+			if !ok {
+				panic(fmt.Sprintf("plonkish: constraint references unopened query %v/%d rot %d", c.Kind, c.Index, rot))
+			}
+			return proof.Evals[i]
+		},
+	}
+	var lhs ff.Element
+	for _, con := range vk.Constraints {
+		lhs.Mul(&lhs, &y)
+		cv := con.Eval(ctx)
+		lhs.Add(&lhs, &cv)
+	}
+	// t(x) = sum x^(n·i) · piece_i(x).
+	var tEval, xn ff.Element
+	xn.Exp(&x, big.NewInt(int64(n)))
+	for i := numPieces - 1; i >= 0; i-- {
+		tEval.Mul(&tEval, &xn)
+		tEval.Add(&tEval, &proof.QuotientEvals[i])
+	}
+	zh := poly.VanishingEval(n, x)
+	var rhs ff.Element
+	rhs.Mul(&zh, &tEval)
+	if !lhs.Equal(&rhs) {
+		return errors.New("plonkish: vanishing identity check failed")
+	}
+
+	// Batched opening verification per rotation group.
+	commitmentOf := func(c Col) (curve.Affine, error) {
+		switch c.Kind {
+		case Fixed:
+			return vk.FixedCommits[c.Index], nil
+		case Advice:
+			return proof.AdviceCommits[c.Index], nil
+		case PermSigma:
+			return vk.SigmaCommits[c.Index], nil
+		case LookupM:
+			return proof.MCommits[c.Index], nil
+		case LookupPhi:
+			return proof.PhiCommits[c.Index], nil
+		case PermZ:
+			return proof.ZCommits[c.Index], nil
+		}
+		return curve.Affine{}, fmt.Errorf("plonkish: no commitment for column kind %v", c.Kind)
+	}
+	rots := distinctRots(vk.Queries)
+	if len(proof.Openings) != len(rots) {
+		return errors.New("plonkish: proof opening count mismatch")
+	}
+	omega := dom.Omega
+	for oi, rot := range rots {
+		var pts []curve.Affine
+		var scs []ff.Element
+		var yCombined ff.Element
+		vPow := ff.One()
+		add := func(cm curve.Affine, ev ff.Element) {
+			pts = append(pts, cm)
+			scs = append(scs, vPow)
+			var t ff.Element
+			t.Mul(&vPow, &ev)
+			yCombined.Add(&yCombined, &t)
+			vPow.Mul(&vPow, &v)
+		}
+		for qi, q := range vk.Queries {
+			if q.Rot != rot {
+				continue
+			}
+			cm, err := commitmentOf(q.Col)
+			if err != nil {
+				return err
+			}
+			add(cm, proof.Evals[qi])
+		}
+		if rot == 0 {
+			for i := range proof.QuotientCommits {
+				add(proof.QuotientCommits[i], proof.QuotientEvals[i])
+			}
+		}
+		combined := curve.MSM(pts, scs).ToAffine()
+		var point ff.Element
+		point.Exp(&omega, big.NewInt(int64(rot)))
+		point.Mul(&point, &x)
+		if err := vk.Scheme.Verify(tr, combined, point, yCombined, proof.Openings[oi]); err != nil {
+			return fmt.Errorf("plonkish: opening at rotation %d: %w", rot, err)
+		}
+	}
+	return nil
+}

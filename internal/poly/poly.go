@@ -1,0 +1,255 @@
+// Package poly implements polynomial arithmetic over Fr: radix-2 NTTs on
+// power-of-two evaluation domains, coset FFTs for quotient computation, and
+// basic coefficient-form operations. FFT cost is the dominant prover cost
+// tracked by the ZKML cost model (eq. (1) of the paper).
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"repro/internal/ff"
+)
+
+// Domain is a multiplicative subgroup H = <omega> of size N = 2^LogN,
+// optionally shifted by a coset generator for extended-domain evaluation.
+type Domain struct {
+	N        int
+	LogN     int
+	Omega    ff.Element // primitive N-th root of unity
+	OmegaInv ff.Element
+	NInv     ff.Element
+	// Coset generator g for the extended evaluation coset g·H. We use the
+	// field's multiplicative generator so g·H never intersects H.
+	CosetGen    ff.Element
+	CosetGenInv ff.Element
+}
+
+// NewDomain returns the evaluation domain of size n (a power of two).
+func NewDomain(n int) *Domain {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("poly: domain size %d not a power of two", n))
+	}
+	logN := bits.TrailingZeros(uint(n))
+	d := &Domain{N: n, LogN: logN}
+	d.Omega = ff.RootOfUnity(logN)
+	d.OmegaInv.Inverse(&d.Omega)
+	nEl := ff.NewElement(uint64(n))
+	d.NInv.Inverse(&nEl)
+	d.CosetGen = ff.MultiplicativeGen()
+	d.CosetGenInv.Inverse(&d.CosetGen)
+	return d
+}
+
+// Element returns omega^i.
+func (d *Domain) Element(i int) ff.Element {
+	i = ((i % d.N) + d.N) % d.N
+	var w ff.Element
+	w.Exp(&d.Omega, big.NewInt(int64(i)))
+	return w
+}
+
+// Elements returns all N domain elements in order.
+func (d *Domain) Elements() []ff.Element {
+	out := make([]ff.Element, d.N)
+	acc := ff.One()
+	for i := range out {
+		out[i] = acc
+		acc.Mul(&acc, &d.Omega)
+	}
+	return out
+}
+
+// bitReverse permutes v in place by bit-reversed index.
+func bitReverse(v []ff.Element) {
+	n := len(v)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			v[i], v[j] = v[j], v[i]
+		}
+	}
+}
+
+// ntt runs an in-place radix-2 NTT with the given root.
+func ntt(v []ff.Element, omega ff.Element) {
+	n := len(v)
+	bitReverse(v)
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		var step ff.Element
+		step.Exp(&omega, big.NewInt(int64(n/size)))
+		for start := 0; start < n; start += size {
+			w := ff.One()
+			for i := start; i < start+half; i++ {
+				var t ff.Element
+				t.Mul(&w, &v[i+half])
+				v[i+half].Sub(&v[i], &t)
+				v[i].Add(&v[i], &t)
+				w.Mul(&w, &step)
+			}
+		}
+	}
+}
+
+// FFT converts coefficient form to evaluation form over H, in place.
+func (d *Domain) FFT(v []ff.Element) {
+	if len(v) != d.N {
+		panic("poly: FFT length mismatch")
+	}
+	ntt(v, d.Omega)
+}
+
+// IFFT converts evaluation form over H to coefficient form, in place.
+func (d *Domain) IFFT(v []ff.Element) {
+	if len(v) != d.N {
+		panic("poly: IFFT length mismatch")
+	}
+	ntt(v, d.OmegaInv)
+	for i := range v {
+		v[i].Mul(&v[i], &d.NInv)
+	}
+}
+
+// CosetFFT evaluates the coefficient-form polynomial over the coset g·H,
+// in place.
+func (d *Domain) CosetFFT(v []ff.Element) {
+	if len(v) != d.N {
+		panic("poly: CosetFFT length mismatch")
+	}
+	acc := ff.One()
+	for i := range v {
+		v[i].Mul(&v[i], &acc)
+		acc.Mul(&acc, &d.CosetGen)
+	}
+	ntt(v, d.Omega)
+}
+
+// CosetIFFT interpolates evaluations over g·H back to coefficient form,
+// in place.
+func (d *Domain) CosetIFFT(v []ff.Element) {
+	if len(v) != d.N {
+		panic("poly: CosetIFFT length mismatch")
+	}
+	ntt(v, d.OmegaInv)
+	acc := d.NInv
+	for i := range v {
+		v[i].Mul(&v[i], &acc)
+		acc.Mul(&acc, &d.CosetGenInv)
+	}
+}
+
+// Eval evaluates the coefficient-form polynomial p at x (Horner).
+func Eval(p []ff.Element, x ff.Element) ff.Element {
+	var acc ff.Element
+	for i := len(p) - 1; i >= 0; i-- {
+		acc.Mul(&acc, &x)
+		acc.Add(&acc, &p[i])
+	}
+	return acc
+}
+
+// VanishingEval returns Z_H(x) = x^N - 1 for a domain of size n.
+func VanishingEval(n int, x ff.Element) ff.Element {
+	var z ff.Element
+	z.Exp(&x, big.NewInt(int64(n)))
+	one := ff.One()
+	z.Sub(&z, &one)
+	return z
+}
+
+// LagrangeEval returns l_i(x) = (omega^i / N) * (x^N - 1) / (x - omega^i),
+// the i-th Lagrange basis polynomial of H evaluated at x outside H.
+func (d *Domain) LagrangeEval(i int, x ff.Element) ff.Element {
+	wi := d.Element(i)
+	var den ff.Element
+	den.Sub(&x, &wi)
+	if den.IsZero() {
+		// x is on the domain: l_i(omega^j) = [i == j].
+		if x.Equal(&wi) {
+			return ff.One()
+		}
+		return ff.Zero()
+	}
+	num := VanishingEval(d.N, x)
+	var out ff.Element
+	out.Inverse(&den)
+	out.Mul(&out, &num)
+	out.Mul(&out, &wi)
+	out.Mul(&out, &d.NInv)
+	return out
+}
+
+// DivideByLinear divides p(X) by (X - z), returning the quotient. The
+// caller must ensure p(z) == 0 (i.e., pass p - p(z) if needed); the
+// remainder is discarded. This is the KZG opening witness computation.
+func DivideByLinear(p []ff.Element, z ff.Element) []ff.Element {
+	if len(p) == 0 {
+		return nil
+	}
+	q := make([]ff.Element, len(p)-1)
+	// Synthetic division from the top coefficient down.
+	var carry ff.Element
+	for i := len(p) - 1; i >= 1; i-- {
+		var c ff.Element
+		c.Add(&p[i], &carry)
+		q[i-1] = c
+		carry.Mul(&c, &z)
+	}
+	return q
+}
+
+// Add returns p + q as a new coefficient slice.
+func Add(p, q []ff.Element) []ff.Element {
+	n := max(len(p), len(q))
+	out := make([]ff.Element, n)
+	copy(out, p)
+	for i := range q {
+		out[i].Add(&out[i], &q[i])
+	}
+	return out
+}
+
+// AddScaled sets p += c*q in place, growing p if needed, and returns p.
+func AddScaled(p []ff.Element, c ff.Element, q []ff.Element) []ff.Element {
+	if len(q) > len(p) {
+		grown := make([]ff.Element, len(q))
+		copy(grown, p)
+		p = grown
+	}
+	for i := range q {
+		var t ff.Element
+		t.Mul(&c, &q[i])
+		p[i].Add(&p[i], &t)
+	}
+	return p
+}
+
+// MulNaive returns p*q by schoolbook multiplication (used in tests and for
+// small polynomials only).
+func MulNaive(p, q []ff.Element) []ff.Element {
+	if len(p) == 0 || len(q) == 0 {
+		return nil
+	}
+	out := make([]ff.Element, len(p)+len(q)-1)
+	for i := range p {
+		if p[i].IsZero() {
+			continue
+		}
+		for j := range q {
+			var t ff.Element
+			t.Mul(&p[i], &q[j])
+			out[i+j].Add(&out[i+j], &t)
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,209 @@
+package poly
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+)
+
+func randPoly(n int) []ff.Element {
+	p := make([]ff.Element, n)
+	for i := range p {
+		p[i] = ff.Random()
+	}
+	return p
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 16, 64, 256} {
+		d := NewDomain(n)
+		p := randPoly(n)
+		orig := append([]ff.Element(nil), p...)
+		d.FFT(p)
+		d.IFFT(p)
+		for i := range p {
+			if !p[i].Equal(&orig[i]) {
+				t.Fatalf("n=%d: FFT/IFFT round trip failed at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestFFTMatchesHorner(t *testing.T) {
+	d := NewDomain(32)
+	p := randPoly(32)
+	evals := append([]ff.Element(nil), p...)
+	d.FFT(evals)
+	for i := 0; i < d.N; i++ {
+		want := Eval(p, d.Element(i))
+		if !evals[i].Equal(&want) {
+			t.Fatalf("FFT eval mismatch at omega^%d", i)
+		}
+	}
+}
+
+func TestCosetFFTRoundTrip(t *testing.T) {
+	d := NewDomain(64)
+	p := randPoly(64)
+	orig := append([]ff.Element(nil), p...)
+	d.CosetFFT(p)
+	d.CosetIFFT(p)
+	for i := range p {
+		if !p[i].Equal(&orig[i]) {
+			t.Fatalf("coset round trip failed at %d", i)
+		}
+	}
+}
+
+func TestCosetFFTMatchesHorner(t *testing.T) {
+	d := NewDomain(16)
+	p := randPoly(16)
+	evals := append([]ff.Element(nil), p...)
+	d.CosetFFT(evals)
+	g := ff.MultiplicativeGen()
+	for i := 0; i < d.N; i++ {
+		var x ff.Element
+		w := d.Element(i)
+		x.Mul(&g, &w)
+		want := Eval(p, x)
+		if !evals[i].Equal(&want) {
+			t.Fatalf("coset FFT mismatch at index %d", i)
+		}
+	}
+}
+
+func TestVanishingOnDomain(t *testing.T) {
+	d := NewDomain(32)
+	for i := 0; i < d.N; i++ {
+		z := VanishingEval(d.N, d.Element(i))
+		if !z.IsZero() {
+			t.Fatalf("Z_H(omega^%d) != 0", i)
+		}
+	}
+	// Nonzero on the coset.
+	g := ff.MultiplicativeGen()
+	z := VanishingEval(d.N, g)
+	if z.IsZero() {
+		t.Fatal("Z_H nonzero off-domain expected")
+	}
+}
+
+func TestLagrangeEval(t *testing.T) {
+	d := NewDomain(16)
+	// On-domain: delta behaviour.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < d.N; j++ {
+			v := d.LagrangeEval(i, d.Element(j))
+			if i == j && !v.IsOne() {
+				t.Fatalf("l_%d(omega^%d) != 1", i, j)
+			}
+			if i != j && !v.IsZero() {
+				t.Fatalf("l_%d(omega^%d) != 0", i, j)
+			}
+		}
+	}
+	// Off-domain: sum of all Lagrange polys is 1.
+	x := ff.Random()
+	sum := ff.Zero()
+	for i := 0; i < d.N; i++ {
+		l := d.LagrangeEval(i, x)
+		sum.Add(&sum, &l)
+	}
+	if !sum.IsOne() {
+		t.Fatal("sum of Lagrange basis != 1")
+	}
+	// Off-domain interpolation check: p(x) == sum p(omega^i) l_i(x).
+	p := randPoly(16)
+	evals := append([]ff.Element(nil), p...)
+	d.FFT(evals)
+	var acc ff.Element
+	for i := 0; i < d.N; i++ {
+		l := d.LagrangeEval(i, x)
+		var term ff.Element
+		term.Mul(&evals[i], &l)
+		acc.Add(&acc, &term)
+	}
+	want := Eval(p, x)
+	if !acc.Equal(&want) {
+		t.Fatal("Lagrange interpolation mismatch")
+	}
+}
+
+func TestDivideByLinear(t *testing.T) {
+	// p(X) with a root at z: p = (X - z) * q for random q.
+	z := ff.Random()
+	q := randPoly(10)
+	var negZ ff.Element
+	negZ.Neg(&z)
+	linear := []ff.Element{negZ, ff.One()}
+	p := MulNaive(linear, q)
+	got := DivideByLinear(p, z)
+	if len(got) != len(q) {
+		t.Fatalf("quotient length %d, want %d", len(got), len(q))
+	}
+	for i := range q {
+		if !got[i].Equal(&q[i]) {
+			t.Fatalf("quotient coeff %d mismatch", i)
+		}
+	}
+}
+
+func TestDivideByLinearWithEvalSubtraction(t *testing.T) {
+	p := randPoly(20)
+	z := ff.Random()
+	y := Eval(p, z)
+	shifted := append([]ff.Element(nil), p...)
+	shifted[0].Sub(&shifted[0], &y)
+	q := DivideByLinear(shifted, z)
+	// Check (X - z) * q == shifted at a random point.
+	x := ff.Random()
+	var lhs, t1 ff.Element
+	t1.Sub(&x, &z)
+	qx := Eval(q, x)
+	lhs.Mul(&t1, &qx)
+	rhs := Eval(shifted, x)
+	if !lhs.Equal(&rhs) {
+		t.Fatal("witness polynomial incorrect")
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	p := randPoly(5)
+	q := randPoly(9)
+	c := ff.Random()
+	out := AddScaled(append([]ff.Element(nil), p...), c, q)
+	x := ff.Random()
+	var want, t1 ff.Element
+	pv, qv := Eval(p, x), Eval(q, x)
+	t1.Mul(&c, &qv)
+	want.Add(&pv, &t1)
+	got := Eval(out, x)
+	if !got.Equal(&want) {
+		t.Fatal("AddScaled mismatch")
+	}
+}
+
+func TestDomainBadSizePanics(t *testing.T) {
+	for _, n := range []int{0, 3, 12, -4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewDomain(%d) should panic", n)
+				}
+			}()
+			NewDomain(n)
+		}()
+	}
+}
+
+func BenchmarkFFT(b *testing.B) {
+	for _, logN := range []int{10, 14, 16} {
+		d := NewDomain(1 << logN)
+		p := randPoly(d.N)
+		b.Run(map[int]string{10: "2^10", 14: "2^14", 16: "2^16"}[logN], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d.FFT(p)
+			}
+		})
+	}
+}

@@ -1,0 +1,201 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func iota(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestNewAndAt(t *testing.T) {
+	x := New[int](2, 3, 4)
+	if x.Len() != 24 || x.Rank() != 3 {
+		t.Fatalf("len %d rank %d", x.Len(), x.Rank())
+	}
+	x.Set(7, 1, 2, 3)
+	if x.At(1, 2, 3) != 7 {
+		t.Fatal("set/at failed")
+	}
+	if x.Offset(1, 2, 3) != 1*12+2*4+3 {
+		t.Fatal("row-major offset wrong")
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	x := New[int](2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, -1}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("index %v should panic", idx)
+				}
+			}()
+			x.At(idx...)
+		}()
+	}
+}
+
+func TestReshapeInference(t *testing.T) {
+	x := FromSlice(iota(12), 3, 4)
+	y := x.Reshape(2, -1)
+	if y.Shape[1] != 6 {
+		t.Fatalf("inferred dim %d", y.Shape[1])
+	}
+	// Views share data.
+	y.Data[0] = 99
+	if x.Data[0] != 99 {
+		t.Fatal("reshape must be a view")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bad reshape should panic")
+			}
+		}()
+		x.Reshape(5, 5)
+	}()
+}
+
+func TestTranspose(t *testing.T) {
+	x := FromSlice(iota(6), 2, 3)
+	y := x.Transpose() // default: reverse axes
+	if y.Shape[0] != 3 || y.Shape[1] != 2 {
+		t.Fatalf("transpose shape %v", y.Shape)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if y.At(j, i) != x.At(i, j) {
+				t.Fatal("transpose values wrong")
+			}
+		}
+	}
+	// 3D permutation.
+	z := FromSlice(iota(24), 2, 3, 4).Transpose(1, 0, 2)
+	if z.Shape[0] != 3 || z.Shape[1] != 2 || z.Shape[2] != 4 {
+		t.Fatalf("3d transpose shape %v", z.Shape)
+	}
+	if z.At(2, 1, 3) != FromSlice(iota(24), 2, 3, 4).At(1, 2, 3) {
+		t.Fatal("3d transpose values wrong")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(a, b uint8) bool {
+		h, w := int(a%5)+1, int(b%5)+1
+		x := FromSlice(iota(h*w), h, w)
+		y := x.Transpose().Transpose()
+		for i := range x.Data {
+			if x.Data[i] != y.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	x := FromSlice(iota(12), 3, 4)
+	y := x.Slice([]int{1, 1}, []int{3, 3})
+	if y.Shape[0] != 2 || y.Shape[1] != 2 {
+		t.Fatalf("slice shape %v", y.Shape)
+	}
+	if y.At(0, 0) != x.At(1, 1) || y.At(1, 1) != x.At(2, 2) {
+		t.Fatal("slice values wrong")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromSlice(iota(4), 2, 2)
+	b := FromSlice([]int{10, 11, 12, 13}, 2, 2)
+	c := Concat(0, a, b)
+	if c.Shape[0] != 4 || c.At(2, 0) != 10 {
+		t.Fatal("concat axis 0 wrong")
+	}
+	d := Concat(1, a, b)
+	if d.Shape[1] != 4 || d.At(0, 2) != 10 || d.At(1, 3) != 13 {
+		t.Fatal("concat axis 1 wrong")
+	}
+}
+
+func TestConcatSliceInverse(t *testing.T) {
+	x := FromSlice(iota(24), 4, 6)
+	parts := x.Split(1, 3)
+	back := Concat(1, parts...)
+	for i := range x.Data {
+		if back.Data[i] != x.Data[i] {
+			t.Fatal("split+concat not identity")
+		}
+	}
+}
+
+func TestPad(t *testing.T) {
+	x := FromSlice(iota(4), 2, 2)
+	y := x.Pad([]int{1, 0}, []int{0, 2}, -1)
+	if y.Shape[0] != 3 || y.Shape[1] != 4 {
+		t.Fatalf("pad shape %v", y.Shape)
+	}
+	if y.At(0, 0) != -1 || y.At(1, 0) != 0 || y.At(2, 1) != 3 || y.At(1, 3) != -1 {
+		t.Fatal("pad values wrong")
+	}
+}
+
+func TestBroadcastTo(t *testing.T) {
+	x := FromSlice([]int{1, 2, 3}, 3)
+	y := x.BroadcastTo(2, 3)
+	if y.At(0, 1) != 2 || y.At(1, 2) != 3 {
+		t.Fatal("broadcast trailing axis wrong")
+	}
+	z := FromSlice([]int{5}, 1).BroadcastTo(4)
+	for _, v := range z.Data {
+		if v != 5 {
+			t.Fatal("scalar broadcast wrong")
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("incompatible broadcast should panic")
+			}
+		}()
+		FromSlice(iota(3), 3).BroadcastTo(2, 4)
+	}()
+}
+
+func TestMapZip(t *testing.T) {
+	x := FromSlice(iota(4), 2, 2)
+	y := Map(x, func(v int) int { return v * 2 })
+	if y.At(1, 1) != 6 {
+		t.Fatal("map wrong")
+	}
+	z := Zip(x, y, func(a, b int) int { return a + b })
+	if z.At(1, 1) != 9 {
+		t.Fatal("zip wrong")
+	}
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched FromSlice should panic")
+		}
+	}()
+	FromSlice(iota(5), 2, 2)
+}
+
+func TestClone(t *testing.T) {
+	x := FromSlice(iota(4), 2, 2)
+	y := x.Clone()
+	y.Data[0] = 99
+	if x.Data[0] == 99 {
+		t.Fatal("clone must copy data")
+	}
+}

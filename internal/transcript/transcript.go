@@ -1,0 +1,97 @@
+// Package transcript implements a Fiat-Shamir transcript over SHA-256. The
+// prover and verifier absorb the same protocol messages (commitments,
+// evaluations) and squeeze identical challenges, making the interactive
+// Plonkish protocol non-interactive.
+package transcript
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"repro/internal/curve"
+	"repro/internal/ff"
+)
+
+// Transcript is a hash-chained sponge: each absorb updates the running
+// state; each challenge hashes the state with a squeeze counter.
+type Transcript struct {
+	state   [32]byte
+	squeeze uint64
+}
+
+// New returns a transcript seeded with a domain-separation label.
+func New(label string) *Transcript {
+	t := &Transcript{}
+	t.absorb([]byte("zkml-go/v1/"), []byte(label))
+	return t
+}
+
+func (t *Transcript) absorb(parts ...[]byte) {
+	h := sha256.New()
+	h.Write(t.state[:])
+	for _, p := range parts {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	copy(t.state[:], h.Sum(nil))
+	t.squeeze = 0
+}
+
+// AppendBytes absorbs labeled raw bytes.
+func (t *Transcript) AppendBytes(label string, b []byte) {
+	t.absorb([]byte(label), b)
+}
+
+// AppendScalar absorbs a field element.
+func (t *Transcript) AppendScalar(label string, s ff.Element) {
+	b := s.Bytes()
+	t.absorb([]byte(label), b[:])
+}
+
+// AppendScalars absorbs a slice of field elements.
+func (t *Transcript) AppendScalars(label string, ss []ff.Element) {
+	h := sha256.New()
+	for _, s := range ss {
+		b := s.Bytes()
+		h.Write(b[:])
+	}
+	t.absorb([]byte(label), h.Sum(nil))
+}
+
+// AppendPoint absorbs a curve point (compressed).
+func (t *Transcript) AppendPoint(label string, p curve.Affine) {
+	b := p.Bytes()
+	t.absorb([]byte(label), b[:])
+}
+
+// AppendUint64 absorbs an integer.
+func (t *Transcript) AppendUint64(label string, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	t.absorb([]byte(label), b[:])
+}
+
+// Challenge squeezes a field element challenge bound to everything absorbed
+// so far. Repeated calls without intervening absorbs yield independent
+// challenges.
+func (t *Transcript) Challenge(label string) ff.Element {
+	h := sha256.New()
+	h.Write(t.state[:])
+	h.Write([]byte("squeeze/"))
+	h.Write([]byte(label))
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], t.squeeze)
+	h.Write(n[:])
+	t.squeeze++
+	// Widen to 64 bytes for statistical uniformity mod r.
+	d1 := h.Sum(nil)
+	h2 := sha256.New()
+	h2.Write(d1)
+	h2.Write([]byte{1})
+	d2 := h2.Sum(nil)
+	var e ff.Element
+	e.SetBytes(append(d1, d2...)[:48]) // 384 bits >> 254: bias < 2^-128
+	return e
+}

@@ -1,0 +1,71 @@
+package transcript
+
+import (
+	"testing"
+
+	"repro/internal/curve"
+	"repro/internal/ff"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New("x"), New("x")
+	a.AppendScalar("s", ff.NewElement(7))
+	b.AppendScalar("s", ff.NewElement(7))
+	ca, cb := a.Challenge("c"), b.Challenge("c")
+	if !ca.Equal(&cb) {
+		t.Fatal("same absorptions must give same challenge")
+	}
+}
+
+func TestLabelSeparation(t *testing.T) {
+	a, b := New("x"), New("y")
+	ca, cb := a.Challenge("c"), b.Challenge("c")
+	if ca.Equal(&cb) {
+		t.Fatal("different labels must give different challenges")
+	}
+}
+
+func TestAbsorbChangesChallenge(t *testing.T) {
+	a, b := New("x"), New("x")
+	a.AppendScalar("s", ff.NewElement(1))
+	b.AppendScalar("s", ff.NewElement(2))
+	ca, cb := a.Challenge("c"), b.Challenge("c")
+	if ca.Equal(&cb) {
+		t.Fatal("different absorptions must give different challenges")
+	}
+}
+
+func TestRepeatedChallengesDiffer(t *testing.T) {
+	a := New("x")
+	c1 := a.Challenge("c")
+	c2 := a.Challenge("c")
+	if c1.Equal(&c2) {
+		t.Fatal("consecutive squeezes must differ")
+	}
+}
+
+func TestPointAbsorption(t *testing.T) {
+	g := curve.Generator()
+	two := ff.NewElement(2)
+	g2j := curve.ScalarMul(&g, &two)
+	g2 := g2j.ToAffine()
+	a, b := New("x"), New("x")
+	a.AppendPoint("p", g)
+	b.AppendPoint("p", g2)
+	ca, cb := a.Challenge("c"), b.Challenge("c")
+	if ca.Equal(&cb) {
+		t.Fatal("different points must give different challenges")
+	}
+}
+
+func TestScalarsAndUint(t *testing.T) {
+	a, b := New("x"), New("x")
+	a.AppendScalars("v", []ff.Element{ff.NewElement(1), ff.NewElement(2)})
+	b.AppendScalars("v", []ff.Element{ff.NewElement(1), ff.NewElement(3)})
+	a.AppendUint64("n", 5)
+	b.AppendUint64("n", 5)
+	ca, cb := a.Challenge("c"), b.Challenge("c")
+	if ca.Equal(&cb) {
+		t.Fatal("scalar-vector separation failed")
+	}
+}

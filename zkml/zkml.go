@@ -1,0 +1,238 @@
+// Package zkml is the public API of ZKML-Go, a reproduction of "ZKML: An
+// Optimizing System for ML Inference in Zero-Knowledge Proofs" (EuroSys
+// 2024). It compiles ML model specifications into halo2-style Plonkish
+// ZK-SNARK circuits, choosing gadget implementations and the circuit layout
+// with a hardware-calibrated cost optimizer, and produces proofs under
+// either the KZG or the transparent IPA commitment backend.
+//
+// Typical flow:
+//
+//	spec, _ := zkml.Model("mnist")
+//	sys, _ := zkml.Compile(spec.Build(), spec.Input(1), zkml.Options{})
+//	proof, _ := sys.Prove(spec.Input(42))
+//	err := sys.Verify(proof)
+package zkml
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/ff"
+	"repro/internal/fixedpoint"
+	"repro/internal/model"
+	"repro/internal/pcs"
+	"repro/internal/plonkish"
+)
+
+// Backend selects the polynomial commitment scheme.
+type Backend = pcs.Backend
+
+// Commitment backends.
+const (
+	// KZG: small proofs, fast verification, trusted setup.
+	KZG = pcs.KZG
+	// IPA: transparent setup, larger proofs, linear-time verification.
+	IPA = pcs.IPA
+)
+
+// Objective selects what the optimizer minimizes.
+type Objective = core.Objective
+
+// Optimizer objectives.
+const (
+	// MinTime minimizes proving time (the default).
+	MinTime = core.MinTime
+	// MinSize minimizes proof size (for on-chain verification).
+	MinSize = core.MinSize
+)
+
+// Graph is an ML model specification.
+type Graph = model.Graph
+
+// Input is a concrete inference input.
+type Input = model.Input
+
+// Options configures compilation.
+type Options struct {
+	// Backend selects KZG (default) or IPA.
+	Backend Backend
+	// Objective selects MinTime (default) or MinSize.
+	Objective Objective
+	// ScaleBits sets the fixed-point scale factor 2^ScaleBits (default 7).
+	ScaleBits int
+	// LookupBits sets the lookup-table precision (default ScaleBits+5).
+	LookupBits int
+	// MinCols / MaxCols bound the layout search (defaults 6..32).
+	MinCols, MaxCols int
+	// CalibrationPath caches the hardware calibration (optional).
+	CalibrationPath string
+	// Calibration overrides the cost calibration (optional).
+	Calibration *costmodel.Calibration
+}
+
+func (o Options) withDefaults() Options {
+	if o.ScaleBits == 0 {
+		o.ScaleBits = 7
+	}
+	if o.LookupBits == 0 {
+		o.LookupBits = o.ScaleBits + 5
+	}
+	if o.MinCols == 0 {
+		o.MinCols = 6
+	}
+	if o.MaxCols == 0 {
+		o.MaxCols = 32
+	}
+	if o.Objective == "" {
+		o.Objective = MinTime
+	}
+	return o
+}
+
+// System is a compiled model: the optimizer-selected circuit layout plus
+// the model-specific proving and verification keys.
+type System struct {
+	Plan *core.Plan
+	Keys *core.Keys
+}
+
+// Proof is a model-inference proof with its public outputs.
+type Proof = core.Proof
+
+// Model looks up a bundled evaluation model by name (see ModelNames).
+func Model(name string) (model.Spec, error) { return model.Get(name) }
+
+// ModelNames lists the bundled evaluation models (Table 5 of the paper).
+func ModelNames() []string { return model.Names() }
+
+// LoadModel reads a model specification from a JSON file.
+func LoadModel(path string) (*Graph, error) { return model.Load(path) }
+
+// Optimize runs the layout optimizer without generating keys, returning the
+// chosen plan and every candidate considered.
+func Optimize(g *Graph, sample *Input, o Options) (*core.Plan, []core.Candidate, core.Stats, error) {
+	o = o.withDefaults()
+	fp := fixedpoint.Params{ScaleBits: o.ScaleBits, LookupBits: o.LookupBits}
+	if err := fp.Validate(); err != nil {
+		return nil, nil, core.Stats{}, err
+	}
+	opt := core.DefaultOptions(o.Backend, fp)
+	opt.Objective = o.Objective
+	opt.MinCols, opt.MaxCols = o.MinCols, o.MaxCols
+	opt.Calibration = o.Calibration
+	if opt.Calibration == nil {
+		opt.Calibration = costmodel.LoadOrCalibrate(o.CalibrationPath)
+	}
+	return core.Optimize(g, sample, opt)
+}
+
+// Compile optimizes the circuit layout for a model and generates its
+// proving and verification keys. The sample input drives the row-exact
+// layout simulation; layouts never depend on input values.
+func Compile(g *Graph, sample *Input, o Options) (*System, error) {
+	plan, _, _, err := Optimize(g, sample, o)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := plan.Setup()
+	if err != nil {
+		return nil, fmt.Errorf("zkml: keygen: %w", err)
+	}
+	return &System{Plan: plan, Keys: keys}, nil
+}
+
+// Prove produces a ZK-SNARK that the committed model, applied to the given
+// (private) input, yields the public outputs carried in the proof.
+func (s *System) Prove(in *Input) (*Proof, error) {
+	return s.Plan.Prove(s.Keys, in)
+}
+
+// Verify checks a proof against the model's verification key. The verifier
+// learns the model architecture and the outputs but neither the weights nor
+// the input.
+func (s *System) Verify(p *Proof) error {
+	return s.Plan.Verify(s.Keys, p)
+}
+
+// Outputs dequantizes the public output values of a proof.
+func (s *System) Outputs(p *Proof) []float64 {
+	fp := s.Plan.Config.FP
+	vals := p.Instance[0]
+	out := make([]float64, len(vals))
+	for i := range vals {
+		v := vals[i]
+		out[i] = fp.Dequantize(v.Int64())
+	}
+	return out
+}
+
+// ExportProof serializes a proof (and its public values) for transport.
+func (s *System) ExportProof(p *Proof) ([]byte, error) {
+	body, err := p.Proof.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	out = append(out, byte(len(p.Instance)))
+	for _, col := range p.Instance {
+		var n [4]byte
+		n[0] = byte(len(col) >> 24)
+		n[1] = byte(len(col) >> 16)
+		n[2] = byte(len(col) >> 8)
+		n[3] = byte(len(col))
+		out = append(out, n[:]...)
+		for _, v := range col {
+			b := v.Bytes()
+			out = append(out, b[:]...)
+		}
+	}
+	return append(out, body...), nil
+}
+
+// ImportProof deserializes a proof produced by ExportProof.
+func (s *System) ImportProof(data []byte) (*Proof, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("zkml: empty proof")
+	}
+	nCols := int(data[0])
+	data = data[1:]
+	inst := make([][]ff.Element, 0, nCols)
+	for c := 0; c < nCols; c++ {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("zkml: truncated proof header")
+		}
+		n := int(data[0])<<24 | int(data[1])<<16 | int(data[2])<<8 | int(data[3])
+		data = data[4:]
+		if len(data) < 32*n {
+			return nil, fmt.Errorf("zkml: truncated instance values")
+		}
+		col := make([]ff.Element, n)
+		for i := 0; i < n; i++ {
+			col[i].SetBytes(data[:32])
+			data = data[32:]
+		}
+		inst = append(inst, col)
+	}
+	p := &Proof{Instance: inst}
+	p.Proof = new(plonkish.Proof)
+	if err := p.Proof.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ModelCommitment returns a digest binding the compiled circuit, including
+// the committed (but hidden) weight columns — the public commitment an
+// auditor pins (Figure 2 of the paper).
+func (s *System) ModelCommitment() []byte {
+	return s.Keys.VK.Digest()
+}
+
+// Describe summarizes the compiled layout.
+func (s *System) Describe() string {
+	p := s.Plan
+	return fmt.Sprintf("%s: %d advice cols, 2^%d rows (%d used), dot=%s constdot=%v, backend=%s, est. %.2fs / %d B",
+		p.Graph.Name, p.Config.NumCols, p.K, p.UsedRows, p.Config.Dot, p.Config.UseConstDot,
+		p.Backend, p.Cost, p.Size)
+}
