@@ -1,0 +1,32 @@
+# Standard entry points for local development and CI.
+#
+#   make ci      vet + build + full test suite + race detector on the
+#                concurrency-sensitive packages (what CI runs)
+#   make test    full test suite only
+#   make race    race detector on the proving engine packages
+#   make bench   prover benchmarks (see EXPERIMENTS.md)
+
+GO ?= go
+
+# Packages whose tests exercise the parallel proving engine; these run
+# under the race detector in CI.
+RACE_PKGS = ./internal/parallel/ ./internal/poly/ ./internal/curve/ ./internal/pcs/ ./internal/plonkish/
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

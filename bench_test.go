@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/fixedpoint"
 	"repro/internal/gadgets"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/pcs"
 	"repro/internal/plonkish"
 )
@@ -297,6 +299,30 @@ func BenchmarkTable14RuntimeOptimized(b *testing.B) {
 
 func BenchmarkTable14SizeOptimized(b *testing.B) {
 	benchProve(b, compile(b, "dlrm-micro", pcs.KZG, core.MinSize))
+}
+
+// BenchmarkProveParallelism measures the worker-pool proving engine at
+// several worker counts (EXPERIMENTS.md records the scaling). On a 1-vCPU
+// host the counts >1 only measure scheduling overhead; run on a multicore
+// machine for real scaling numbers.
+func BenchmarkProveParallelism(b *testing.B) {
+	c := compile(b, "mnist", pcs.KZG, core.MinTime)
+	art, err := c.plan.Synthesize(c.spec.Input(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plonkish.Prove(c.keys.PK, art.Instance, art.Witness); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // §9.5: the cost estimator itself (it must be orders of magnitude cheaper

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/costmodel"
@@ -62,6 +63,14 @@ func commonFlags(fs *flag.FlagSet) (modelName *string, backend *string, scaleBit
 	lookupBits = fs.Int("lookup-bits", 10, "lookup table precision bits")
 	maxCols = fs.Int("max-cols", 24, "maximum advice columns to search")
 	seed = fs.Int64("seed", 1, "synthetic input seed")
+	fs.Func("parallelism", "proving worker count (default: GOMAXPROCS)", func(v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return fmt.Errorf("parallelism must be a positive integer, got %q", v)
+		}
+		zkml.SetParallelism(n)
+		return nil
+	})
 	return
 }
 

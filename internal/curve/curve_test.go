@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/ff"
+	"repro/internal/parallel"
 )
 
 func TestGeneratorOnCurve(t *testing.T) {
@@ -294,5 +295,36 @@ func TestNegMatchesScalarMinusOne(t *testing.T) {
 	a, b := viaScalar.ToAffine(), viaNeg
 	if !a.Equal(&b) {
 		t.Fatal("(-1)*G != -G")
+	}
+}
+
+// TestMSMParallelMatchesSerial checks that the chunked parallel MSM agrees
+// with the single-chunk Pippenger evaluation, including scalars with all
+// four limbs live (r-1) — the case a 32-bit big.Int.Bits() path would
+// silently truncate.
+func TestMSMParallelMatchesSerial(t *testing.T) {
+	g := Generator()
+	rMinus1 := new(big.Int).Sub(ff.Modulus(), big.NewInt(1))
+	for _, n := range []int{300, 1024} {
+		pts := make([]Affine, n)
+		scs := make([]ff.Element, n)
+		for i := 0; i < n; i++ {
+			k := ff.NewElement(uint64(3*i + 2))
+			pts[i] = ScalarMul(&g, &k).ToAffine()
+			if i%5 == 0 {
+				scs[i].SetBigInt(rMinus1) // exercise the top limbs
+			} else {
+				scs[i] = ff.Random()
+			}
+		}
+		parallel.SetWorkers(1)
+		serial := MSM(pts, scs)
+		parallel.SetWorkers(4)
+		par := MSM(pts, scs)
+		parallel.SetWorkers(0)
+		a, b := serial.ToAffine(), par.ToAffine()
+		if !a.Equal(&b) {
+			t.Fatalf("parallel MSM differs from serial at n=%d", n)
+		}
 	}
 }

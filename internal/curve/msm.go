@@ -4,11 +4,18 @@ import (
 	"math/bits"
 
 	"repro/internal/ff"
+	"repro/internal/parallel"
 )
 
-// MSM computes the multi-scalar multiplication sum_i scalars[i] * points[i]
-// using Pippenger's bucket method. This is the dominant group-operation cost
-// in proving; the ZKML cost model calibrates t_MSM(2^k) against it.
+// msmParallelMin is the smallest point count worth splitting across
+// workers; below it the per-chunk Pippenger setup dominates.
+const msmParallelMin = 256
+
+// MSM computes the multi-scalar multiplication sum_i scalars[i] * points[i].
+// This is the dominant group-operation cost in proving; the ZKML cost model
+// calibrates t_MSM(2^k) against it. Points are split into per-worker chunks
+// (Pippenger's bucket method per chunk) and the partial sums are reduced in
+// Jacobian form, so the result is identical to the serial evaluation.
 func MSM(points []Affine, scalars []ff.Element) Jac {
 	if len(points) != len(scalars) {
 		panic("curve: MSM length mismatch")
@@ -25,18 +32,46 @@ func MSM(points []Affine, scalars []ff.Element) Jac {
 		}
 		return acc
 	}
+	workers := parallel.Workers()
+	if workers <= 1 || n < msmParallelMin {
+		return pippenger(points, scalars)
+	}
+	chunks := workers
+	if max := n / (msmParallelMin / 2); chunks > max {
+		chunks = max
+	}
+	size := (n + chunks - 1) / chunks
+	partials := make([]Jac, chunks)
+	parallel.For(chunks, func(i int) {
+		lo := i * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			partials[i] = pippenger(points[lo:hi], scalars[lo:hi])
+		}
+	})
+	var total Jac
+	for i := range partials {
+		total.AddAssign(&partials[i])
+	}
+	return total
+}
 
+// pippenger runs the serial bucket method over one chunk.
+func pippenger(points []Affine, scalars []ff.Element) Jac {
+	n := len(points)
 	c := windowSize(n)
 	const scalarBits = 254
 	numWindows := (scalarBits + c - 1) / c
 
-	// Convert scalars to canonical 4x64 limbs once.
+	// Canonical 4x64 limbs once per scalar. ff.Element.Limbs is
+	// word-size-independent (big.Int.Bits would drop the top 128 bits of
+	// every scalar on 32-bit platforms) and allocation-free.
 	limbed := make([][4]uint64, n)
 	for i := range scalars {
-		b := scalars[i].BigInt().Bits()
-		for j := 0; j < len(b) && j < 4; j++ {
-			limbed[i][j] = uint64(b[j])
-		}
+		limbed[i] = scalars[i].Limbs()
 	}
 
 	windowDigit := func(l *[4]uint64, w int) uint64 {

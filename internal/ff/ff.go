@@ -6,8 +6,9 @@ package ff
 
 import (
 	"crypto/rand"
-	"encoding/binary"
+	"crypto/sha256"
 	"fmt"
+	"io"
 	"math/big"
 
 	"repro/internal/limbs"
@@ -110,6 +111,19 @@ func (z *Element) BigInt() *big.Int {
 	return limbs.ToBig(&out)
 }
 
+// Limbs returns the canonical (non-Montgomery) value of z as four
+// little-endian 64-bit limbs. Unlike BigInt().Bits(), the layout does not
+// depend on the platform word size (big.Word is 32 bits on 32-bit
+// platforms, where packing four words into [4]uint64 would drop the top 128
+// bits of every scalar), and no heap allocation occurs. This is the scalar
+// form the MSM kernels consume.
+func (z *Element) Limbs() [4]uint64 {
+	var out limbs.Limbs
+	one := limbs.Limbs{1}
+	mod.MontMul(&out, &z.l, &one)
+	return out
+}
+
 // Int64 returns the value of z interpreted as a signed integer: values in
 // [0, r/2) map to themselves, values in [r/2, r) map to negatives. Panics if
 // the magnitude exceeds int64 range; circuit values are always small.
@@ -125,11 +139,32 @@ func (z *Element) Int64() int64 {
 	return v.Int64()
 }
 
+// randSource feeds SetRandom/Random. It defaults to crypto/rand and is only
+// replaced by tests (see SetRandomSource); the prover draws all blinding
+// randomness on a single goroutine, so no locking is needed there.
+var randSource io.Reader = rand.Reader
+
+// SetRandomSource replaces the randomness source behind SetRandom/Random
+// and returns the previous one; nil restores crypto/rand. It exists so
+// tests can make proofs reproducible (e.g. to check that the parallel
+// prover is transcript-identical to the serial one). Deterministic replay
+// additionally requires that all draws happen in a fixed order, which the
+// prover guarantees by drawing blinding rows on its own goroutine only.
+// Not safe to call concurrently with draws; production code never calls it.
+func SetRandomSource(r io.Reader) io.Reader {
+	prev := randSource
+	if r == nil {
+		r = rand.Reader
+	}
+	randSource = r
+	return prev
+}
+
 // SetRandom sets z to a uniformly random field element.
 func (z *Element) SetRandom() *Element {
-	v, err := rand.Int(rand.Reader, mod.Big)
+	v, err := rand.Int(randSource, mod.Big)
 	if err != nil {
-		panic(err) // crypto/rand failure is unrecoverable
+		panic(err) // randomness failure is unrecoverable
 	}
 	return z.SetBigInt(v)
 }
@@ -259,14 +294,21 @@ func BatchInverse(v []Element) {
 	}
 }
 
-// HashToField maps arbitrary bytes to a field element (for Fiat-Shamir).
-// It widens to 64 bytes before reduction so the output is statistically
-// uniform.
+// HashToField maps arbitrary bytes to a field element. Two domain-separated
+// SHA-256 digests of the input are concatenated into a 64-byte integer
+// before reduction mod r, so the output is statistically uniform (bias
+// < 2^-(512-254)). The previous implementation reduced the raw input bytes
+// directly, which is only uniform when the caller already supplies wide
+// hash output.
 func HashToField(b []byte) Element {
-	// The caller supplies hash output; widen deterministically.
-	var buf [16]byte
-	binary.BigEndian.PutUint64(buf[:8], uint64(len(b)))
-	wide := new(big.Int).SetBytes(append(append([]byte{}, b...), buf[:]...))
+	h := sha256.New()
+	h.Write([]byte{0})
+	h.Write(b)
+	d1 := h.Sum(nil)
+	h.Reset()
+	h.Write([]byte{1})
+	h.Write(b)
+	wide := new(big.Int).SetBytes(h.Sum(d1))
 	var e Element
 	e.SetBigInt(wide)
 	return e

@@ -235,6 +235,59 @@ func TestMultiplicativeGenCosets(t *testing.T) {
 	}
 }
 
+func TestLimbsMatchesBigInt(t *testing.T) {
+	check := func(x Element) {
+		l := x.Limbs()
+		got := new(big.Int)
+		for i := 3; i >= 0; i-- {
+			got.Lsh(got, 64)
+			got.Or(got, new(big.Int).SetUint64(l[i]))
+		}
+		if got.Cmp(bigOf(x)) != 0 {
+			t.Fatalf("Limbs() = %x, want %s", l, bigOf(x))
+		}
+	}
+	check(Zero())
+	check(One())
+	check(fromBig(new(big.Int).Sub(Modulus(), big.NewInt(1)))) // r-1: all limbs live
+	for i := 0; i < 100; i++ {
+		check(Random())
+	}
+}
+
+func TestHashToFieldWidensAndDistributes(t *testing.T) {
+	const samples = 4096
+	// Bucket the low nibble of the canonical value (uniform for a uniform
+	// field element) and check the top of the field is actually reached; the
+	// old non-widening implementation mapped short inputs into a tiny prefix
+	// of the field (top bytes always zero).
+	buckets := make([]int, 16)
+	sawHighBits := false
+	var prev Element
+	for i := 0; i < samples; i++ {
+		e := HashToField([]byte{byte(i), byte(i >> 8), 0x5a})
+		if i > 0 && e.Equal(&prev) {
+			t.Fatal("consecutive inputs collided")
+		}
+		prev = e
+		b := e.Bytes()
+		buckets[b[31]&0x0f]++
+		if b[0] >= 0x20 {
+			// r's top byte is 0x30; ~1/3 of uniform outputs land here.
+			sawHighBits = true
+		}
+	}
+	if !sawHighBits {
+		t.Fatal("outputs never reach the top of the field: not widened")
+	}
+	want := samples / 16
+	for i, c := range buckets {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("bucket %d has %d samples (expected near %d): output not uniform", i, c, want)
+		}
+	}
+}
+
 func BenchmarkMul(b *testing.B) {
 	x, y := Random(), Random()
 	var z Element

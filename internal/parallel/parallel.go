@@ -1,0 +1,143 @@
+// Package parallel provides the bounded worker pool behind every proving
+// hot path: MSMs (curve), NTTs (poly), SRS growth (pcs), and the
+// embarrassingly-parallel prover stages (plonkish). The paper's prover cost
+// is dominated by FFTs and MSMs (eqs. (1),(2)); those kernels split cleanly
+// into independent chunks, so the whole prover scales with cores as long as
+// transcript absorption stays sequential (see DESIGN.md §8).
+//
+// The pool is a process-wide token semaphore: a For/Range/Map call runs up
+// to Workers() chunks concurrently (counting the calling goroutine), and
+// nested calls — e.g. a per-column IFFT inside a per-phase column fan-out —
+// degrade gracefully to inline execution instead of oversubscribing or
+// deadlocking, because workers acquire tokens with a non-blocking try.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pinned is the configured worker count; 0 means "use GOMAXPROCS".
+var pinned atomic.Int32
+
+// sem bounds the number of extra goroutines (beyond callers) running across
+// all concurrent For/Range/Map calls. Rebuilt when the worker count changes;
+// in-flight workers release into the channel they acquired from, so a
+// rebuild never strands a token.
+var sem atomic.Pointer[chan struct{}]
+
+// Workers returns the current worker bound: the pinned value if set,
+// otherwise GOMAXPROCS.
+func Workers() int {
+	if n := pinned.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers pins the worker bound. n <= 0 restores the GOMAXPROCS default.
+// Safe to call at any time; calls already in flight keep their old bound.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	pinned.Store(int32(n))
+	c := make(chan struct{}, extraFor(Workers()))
+	sem.Store(&c)
+}
+
+func extraFor(workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	return workers - 1
+}
+
+// tokens returns the current semaphore, rebuilding it if GOMAXPROCS (or the
+// pin) changed since the last call.
+func tokens() chan struct{} {
+	want := extraFor(Workers())
+	if p := sem.Load(); p != nil && cap(*p) == want {
+		return *p
+	}
+	c := make(chan struct{}, want)
+	sem.Store(&c)
+	return c
+}
+
+// Range splits [0, n) into up to Workers() contiguous chunks and runs fn on
+// each, returning when all chunks are done. The calling goroutine always
+// executes at least one chunk; additional chunks run on pooled goroutines
+// when tokens are free and inline otherwise. Chunk boundaries depend only on
+// n and the worker bound, so callers may precompute per-chunk state. A panic
+// in any chunk is re-raised in the caller after all chunks finish.
+func Range(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w <= 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	chunks := w
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+
+	pool := tokens()
+	var wg sync.WaitGroup
+	var firstPanic atomic.Pointer[any]
+	run := func(lo, hi int) {
+		defer func() {
+			if r := recover(); r != nil {
+				firstPanic.CompareAndSwap(nil, &r)
+			}
+		}()
+		fn(lo, hi)
+	}
+	for lo := size; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		select {
+		case pool <- struct{}{}:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer func() {
+					<-pool
+					wg.Done()
+				}()
+				run(lo, hi)
+			}(lo, hi)
+		default:
+			run(lo, hi)
+		}
+	}
+	run(0, size)
+	wg.Wait()
+	if p := firstPanic.Load(); p != nil {
+		panic(*p)
+	}
+}
+
+// For runs fn for every i in [0, n), parallelized as in Range.
+func For(n int, fn func(i int)) {
+	Range(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map runs fn for every i in [0, n) and collects the results in order.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 64} {
+		SetWorkers(workers)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]int32, n)
+			For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestRangeChunksPartition(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	n := 103
+	covered := make([]int32, n)
+	Range(n, func(lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	SetWorkers(8)
+	defer SetWorkers(0)
+	out := Map(100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestNestedCallsComplete(t *testing.T) {
+	// Nested Range inside For must not deadlock: inner calls fall back to
+	// inline execution when the pool is exhausted.
+	SetWorkers(2)
+	defer SetWorkers(0)
+	var total atomic.Int64
+	For(10, func(i int) {
+		Range(10, func(lo, hi int) {
+			total.Add(int64(hi - lo))
+		})
+	})
+	if total.Load() != 100 {
+		t.Fatalf("nested total = %d, want 100", total.Load())
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(0)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in worker was swallowed")
+		}
+	}()
+	For(100, func(i int) {
+		if i == 57 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	SetWorkers(0)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	SetWorkers(-5)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Workers() = %d after reset, want %d", got, want)
+	}
+}

@@ -2,10 +2,12 @@ package pcs
 
 import (
 	"errors"
+	"math/big"
 	"sync"
 
 	"repro/internal/curve"
 	"repro/internal/ff"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 	"repro/internal/transcript"
 )
@@ -29,6 +31,10 @@ type KZGScheme struct {
 var (
 	kzgMu     sync.Mutex
 	kzgShared *KZGScheme // grown on demand; SRS generation is the slow part
+	// kzgTable is the fixed-base comb table for the generator, built once
+	// and reused by every SRS growth call (it only depends on G, and
+	// rebuilding the 32x256 table used to dominate repeated extends).
+	kzgTable *fixedBase
 )
 
 // NewKZG returns a KZG scheme supporting polynomials of up to maxLen
@@ -54,20 +60,22 @@ func NewKZG(maxLen int) *KZGScheme {
 
 // extend grows the SRS to maxLen powers using a fixed-base comb table for
 // the generator (32 mixed additions per power instead of a full double-and-
-// add ladder).
+// add ladder). The powers are computed in parallel chunks, each seeding its
+// local tau power with one Exp. Caller holds kzgMu.
 func (k *KZGScheme) extend(maxLen int) {
-	table := fixedBaseTable(k.g)
+	if kzgTable == nil {
+		kzgTable = fixedBaseTable(k.g)
+	}
 	start := len(k.powers)
 	jacs := make([]curve.Jac, maxLen-start)
-	// tauPow = tau^start
-	tauPow := ff.One()
-	for i := 0; i < start; i++ {
-		tauPow.Mul(&tauPow, &k.tau)
-	}
-	for i := range jacs {
-		jacs[i] = table.mul(&tauPow)
-		tauPow.Mul(&tauPow, &k.tau)
-	}
+	parallel.Range(len(jacs), func(lo, hi int) {
+		var tauPow ff.Element
+		tauPow.Exp(&k.tau, big.NewInt(int64(start+lo)))
+		for i := lo; i < hi; i++ {
+			jacs[i] = kzgTable.mul(&tauPow)
+			tauPow.Mul(&tauPow, &k.tau)
+		}
+	})
 	k.powers = append(k.powers, curve.BatchToAffine(jacs)...)
 }
 

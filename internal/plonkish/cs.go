@@ -195,6 +195,11 @@ func (cs *CS) Validate() error {
 		exprs = append(exprs, g.Polys...)
 	}
 	for _, l := range cs.Lookups {
+		if len(l.Inputs) == 0 {
+			// An empty lookup has no columns to compress; the prover's
+			// theta-fold would otherwise index vals[-1] at every row.
+			return fmt.Errorf("plonkish: lookup %q has no input expressions", l.Name)
+		}
 		if len(l.Inputs) != len(l.Table) {
 			return fmt.Errorf("plonkish: lookup %q arity mismatch", l.Name)
 		}

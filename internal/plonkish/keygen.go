@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/curve"
 	"repro/internal/ff"
+	"repro/internal/parallel"
 	"repro/internal/pcs"
 	"repro/internal/poly"
 )
@@ -137,23 +138,28 @@ func Setup(cs *CS, n int, fixed [][]ff.Element, backend pcs.Backend) (*ProvingKe
 		return nil, nil, err
 	}
 
-	// Interpolate and commit fixed + sigma polynomials.
+	// Interpolate and commit fixed + sigma polynomials; every column is
+	// independent, so the whole pipeline fans out per column.
 	pk.FixedPolys = make([][]ff.Element, len(pk.FixedVals))
 	fixedCommits := make([]curve.Affine, len(pk.FixedVals))
-	for i, vals := range pk.FixedVals {
-		p := append([]ff.Element(nil), vals...)
-		pk.Domain.IFFT(p)
-		pk.FixedPolys[i] = p
-		fixedCommits[i] = scheme.Commit(p)
-	}
 	pk.SigmaPolys = make([][]ff.Element, len(pk.SigmaVals))
 	sigmaCommits := make([]curve.Affine, len(pk.SigmaVals))
-	for i, vals := range pk.SigmaVals {
+	nf := len(pk.FixedVals)
+	parallel.For(nf+len(pk.SigmaVals), func(i int) {
+		var vals []ff.Element
+		var polys [][]ff.Element
+		var commits []curve.Affine
+		if i < nf {
+			vals, polys, commits = pk.FixedVals[i], pk.FixedPolys, fixedCommits
+		} else {
+			i -= nf
+			vals, polys, commits = pk.SigmaVals[i], pk.SigmaPolys, sigmaCommits
+		}
 		p := append([]ff.Element(nil), vals...)
 		pk.Domain.IFFT(p)
-		pk.SigmaPolys[i] = p
-		sigmaCommits[i] = scheme.Commit(p)
-	}
+		polys[i] = p
+		commits[i] = scheme.Commit(p)
+	})
 
 	pk.Constraints = buildConstraints(cs, u)
 	pk.Queries = collectOpeningQueries(pk.Constraints)

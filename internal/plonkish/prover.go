@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/curve"
 	"repro/internal/ff"
+	"repro/internal/parallel"
 	"repro/internal/pcs"
 	"repro/internal/poly"
 	"repro/internal/transcript"
@@ -55,6 +56,15 @@ func (p *Proof) Size() int {
 // Prove produces a proof that the witness satisfies pk's circuit with the
 // given public instance values (one slice per instance column, each at most
 // U values; missing tail values are zero).
+//
+// Concurrency (DESIGN.md §8): every numeric stage — per-column IFFTs,
+// lookup compression and multiplicity counting, permutation products, the
+// extended-coset quotient, and the commitment MSMs beneath them — fans out
+// over the internal/parallel worker pool, while the Fiat-Shamir transcript
+// is driven exclusively from this goroutine in the same order as the serial
+// prover. Blinding randomness is likewise drawn only on this goroutine in a
+// fixed order, so with a deterministic randomness source the proof is
+// byte-identical at every parallelism level (see TestProverDeterministic).
 func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 	cs := pk.CS
 	n, u := pk.N, pk.U
@@ -82,14 +92,21 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 	proof := &Proof{}
 
 	// Polynomial registry: lagrange values and coefficient form for every
-	// internal polynomial, addressed by Col.
+	// internal polynomial, addressed by Col. Writes happen only on this
+	// goroutine; parallel stages read it after all writes they depend on.
 	lag := map[Col][]ff.Element{}
 	coeff := map[Col][]ff.Element{}
-	register := func(c Col, vals []ff.Element) {
-		lag[c] = vals
+	ifft := func(vals []ff.Element) []ff.Element {
 		p := append([]ff.Element(nil), vals...)
 		pk.Domain.IFFT(p)
-		coeff[c] = p
+		return p
+	}
+	register := func(c Col, vals, coeffs []ff.Element) {
+		lag[c] = vals
+		if coeffs == nil {
+			coeffs = ifft(vals)
+		}
+		coeff[c] = coeffs
 	}
 	commitCol := func(c Col, label string) curve.Affine {
 		cm := pk.Scheme.Commit(coeff[c])
@@ -104,11 +121,17 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 		lag[sigmaCol(i)] = pk.SigmaVals[i]
 		coeff[sigmaCol(i)] = pk.SigmaPolys[i]
 	}
-	for i := 0; i < cs.NumInstance; i++ {
-		register(InstanceCol(i), a.Instance[i])
+	{
+		instCoeffs := parallel.Map(cs.NumInstance, func(i int) []ff.Element {
+			return ifft(a.Instance[i])
+		})
+		for i := 0; i < cs.NumInstance; i++ {
+			register(InstanceCol(i), a.Instance[i], instCoeffs[i])
+		}
 	}
 
-	// Advice phases.
+	// Advice phases: blind on this goroutine, IFFT all of the phase's
+	// columns in parallel, then commit in column order.
 	var challenges []ff.Element
 	proof.AdviceCommits = make([]curve.Affine, cs.NumAdvice)
 	maxPhase := cs.maxPhase()
@@ -116,14 +139,22 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 		if err := w.Fill(phase, challenges, a); err != nil {
 			return nil, fmt.Errorf("plonkish: witness fill phase %d: %w", phase, err)
 		}
+		var cols []int
 		for i := 0; i < cs.NumAdvice; i++ {
-			if cs.phase(i) != phase {
-				continue
+			if cs.phase(i) == phase {
+				cols = append(cols, i)
 			}
+		}
+		for _, i := range cols {
 			for r := u; r < n; r++ {
 				a.Advice[i][r] = ff.Random() // blinding rows
 			}
-			register(AdviceCol(i), a.Advice[i])
+		}
+		adviceCoeffs := parallel.Map(len(cols), func(idx int) []ff.Element {
+			return ifft(a.Advice[cols[idx]])
+		})
+		for idx, i := range cols {
+			register(AdviceCol(i), a.Advice[i], adviceCoeffs[idx])
 			proof.AdviceCommits[i] = commitCol(AdviceCol(i), "advice")
 		}
 		if phase == 0 && maxPhase > 0 {
@@ -145,66 +176,101 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 		}
 	}
 
-	// Lookup multiplicities.
+	// Lookup multiplicities: compress each lookup's inputs and table and
+	// count multiplicities in parallel across lookups (and across rows
+	// within one), then commit in lookup order.
 	type lookupData struct {
 		f, t, sel []ff.Element // compressed input, compressed table, selector
 		m         []ff.Element
+		mCoeff    []ff.Element
+		err       error
 	}
 	lookups := make([]lookupData, len(cs.Lookups))
 	proof.MCommits = make([]curve.Affine, len(cs.Lookups))
-	for k, l := range cs.Lookups {
+	for k := range lookups {
+		m := make([]ff.Element, n)
+		for r := u; r < n; r++ {
+			m[r] = ff.Random()
+		}
+		lookups[k].m = m
+	}
+	parallel.For(len(cs.Lookups), func(k int) {
+		l := cs.Lookups[k]
 		ld := &lookups[k]
 		ld.f = make([]ff.Element, n)
 		ld.t = make([]ff.Element, n)
 		ld.sel = make([]ff.Element, n)
-		ld.m = make([]ff.Element, n)
-		tblIdx := map[[32]byte]int{}
+		parallel.Range(l.TableLen, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				ld.t[r] = compressRow(arg[Theta], l.Table, nil, a, r)
+			}
+		})
+		tblIdx := make(map[[32]byte]int, l.TableLen)
 		for r := 0; r < l.TableLen; r++ {
-			v := compressRow(arg[Theta], l.Table, nil, a, r)
-			ld.t[r] = v
-			key := v.Bytes()
+			key := ld.t[r].Bytes()
 			if _, dup := tblIdx[key]; !dup {
 				tblIdx[key] = r
 			}
 		}
+		parallel.Range(u, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				ctx := rowCtx(r)
+				ld.sel[r] = l.Selector.Eval(ctx)
+				ld.f[r] = compressRow(arg[Theta], nil, l.Inputs, a, r)
+			}
+		})
 		for r := 0; r < u; r++ {
-			ctx := rowCtx(r)
-			ld.sel[r] = l.Selector.Eval(ctx)
-			ld.f[r] = compressRow(arg[Theta], nil, l.Inputs, a, r)
 			if ld.sel[r].IsZero() {
 				continue
 			}
 			ti, ok := tblIdx[ld.f[r].Bytes()]
 			if !ok {
-				return nil, fmt.Errorf("plonkish: lookup %q: input at row %d not in table", l.Name, r)
+				ld.err = fmt.Errorf("plonkish: lookup %q: input at row %d not in table", l.Name, r)
+				return
 			}
 			one := ff.One()
 			ld.m[ti].Add(&ld.m[ti], &one)
 		}
-		for r := u; r < n; r++ {
-			ld.m[r] = ff.Random()
+		ld.mCoeff = ifft(ld.m)
+	})
+	for k := range lookups {
+		if err := lookups[k].err; err != nil {
+			return nil, err
 		}
-		register(mCol(k), ld.m)
+		register(mCol(k), lookups[k].m, lookups[k].mCoeff)
 		proof.MCommits[k] = commitCol(mCol(k), "lookup-m")
 	}
 
 	arg[Beta] = tr.Challenge("beta")
 	arg[Gamma] = tr.Challenge("gamma")
 
-	// Lookup accumulators phi.
+	// Lookup accumulators phi: the per-row inverse terms parallelize (a
+	// batch inversion of a subrange is still a batch inversion); the prefix
+	// sum itself is cheap and stays serial per lookup.
 	proof.PhiCommits = make([]curve.Affine, len(cs.Lookups))
-	for k := range cs.Lookups {
+	phis := make([][]ff.Element, len(cs.Lookups))
+	phiCoeffs := make([][]ff.Element, len(cs.Lookups))
+	phiErrs := make([]error, len(cs.Lookups))
+	for k := range phis {
+		phi := make([]ff.Element, n)
+		for r := u + 1; r < n; r++ {
+			phi[r] = ff.Random()
+		}
+		phis[k] = phi
+	}
+	parallel.For(len(cs.Lookups), func(k int) {
 		ld := &lookups[k]
-		// Batch-invert beta+f and beta+t over active rows.
 		invF := make([]ff.Element, u)
 		invT := make([]ff.Element, u)
-		for r := 0; r < u; r++ {
-			invF[r].Add(&arg[Beta], &ld.f[r])
-			invT[r].Add(&arg[Beta], &ld.t[r])
-		}
-		ff.BatchInverse(invF)
-		ff.BatchInverse(invT)
-		phi := make([]ff.Element, n)
+		parallel.Range(u, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				invF[r].Add(&arg[Beta], &ld.f[r])
+				invT[r].Add(&arg[Beta], &ld.t[r])
+			}
+			ff.BatchInverse(invF[lo:hi])
+			ff.BatchInverse(invT[lo:hi])
+		})
+		phi := phis[k]
 		for r := 0; r < u; r++ {
 			var term, t2 ff.Element
 			term.Mul(&ld.sel[r], &invF[r])
@@ -213,16 +279,22 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 			phi[r+1].Add(&phi[r], &term)
 		}
 		if !phi[u].IsZero() {
-			return nil, fmt.Errorf("plonkish: lookup %d accumulator does not close (witness bug)", k)
+			phiErrs[k] = fmt.Errorf("plonkish: lookup %d accumulator does not close (witness bug)", k)
+			return
 		}
-		for r := u + 1; r < n; r++ {
-			phi[r] = ff.Random()
+		phiCoeffs[k] = ifft(phi)
+	})
+	for k := range cs.Lookups {
+		if phiErrs[k] != nil {
+			return nil, phiErrs[k]
 		}
-		register(phiCol(k), phi)
+		register(phiCol(k), phis[k], phiCoeffs[k])
 		proof.PhiCommits[k] = commitCol(phiCol(k), "lookup-phi")
 	}
 
-	// Permutation grand products.
+	// Permutation grand products: the num/den row loops of every chunk run
+	// in parallel; the carry-linked z prefix walks stay serial in chunk
+	// order (they are O(u) multiplications).
 	permActive := len(cs.PermCols()) > 0 && len(cs.Copies) > 0
 	if permActive {
 		permCols := cs.PermCols()
@@ -237,8 +309,7 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 		}
 		omega := pk.Domain.Elements()
 		proof.ZCommits = make([]curve.Affine, numChunks)
-		carry := ff.One()
-		for j := 0; j < numChunks; j++ {
+		ratios := parallel.Map(numChunks, func(j int) []ff.Element {
 			lo := j * chunk
 			hi := lo + chunk
 			if hi > len(permCols) {
@@ -246,36 +317,43 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 			}
 			num := make([]ff.Element, u)
 			den := make([]ff.Element, u)
-			for r := 0; r < u; r++ {
-				num[r] = ff.One()
-				den[r] = ff.One()
-				for i := lo; i < hi; i++ {
-					v := a.Get(permCols[i], r)
-					var idT, sgT, t ff.Element
-					t.Mul(&dp[i], &omega[r])
-					idT.Mul(&arg[Beta], &t)
-					idT.Add(&idT, &v)
-					idT.Add(&idT, &arg[Gamma])
-					num[r].Mul(&num[r], &idT)
-					sgT.Mul(&arg[Beta], &pk.SigmaVals[i][r])
-					sgT.Add(&sgT, &v)
-					sgT.Add(&sgT, &arg[Gamma])
-					den[r].Mul(&den[r], &sgT)
+			parallel.Range(u, func(rlo, rhi int) {
+				for r := rlo; r < rhi; r++ {
+					num[r] = ff.One()
+					den[r] = ff.One()
+					for i := lo; i < hi; i++ {
+						v := a.Get(permCols[i], r)
+						var idT, sgT, t ff.Element
+						t.Mul(&dp[i], &omega[r])
+						idT.Mul(&arg[Beta], &t)
+						idT.Add(&idT, &v)
+						idT.Add(&idT, &arg[Gamma])
+						num[r].Mul(&num[r], &idT)
+						sgT.Mul(&arg[Beta], &pk.SigmaVals[i][r])
+						sgT.Add(&sgT, &v)
+						sgT.Add(&sgT, &arg[Gamma])
+						den[r].Mul(&den[r], &sgT)
+					}
 				}
-			}
-			ff.BatchInverse(den)
+				ff.BatchInverse(den[rlo:rhi])
+				for r := rlo; r < rhi; r++ {
+					num[r].Mul(&num[r], &den[r])
+				}
+			})
+			return num
+		})
+		carry := ff.One()
+		for j := 0; j < numChunks; j++ {
 			z := make([]ff.Element, n)
 			z[0] = carry
 			for r := 0; r < u; r++ {
-				var ratio ff.Element
-				ratio.Mul(&num[r], &den[r])
-				z[r+1].Mul(&z[r], &ratio)
+				z[r+1].Mul(&z[r], &ratios[j][r])
 			}
 			carry = z[u]
 			for r := u + 1; r < n; r++ {
 				z[r] = ff.Random()
 			}
-			register(zCol(j), z)
+			register(zCol(j), z, nil)
 			proof.ZCommits[j] = commitCol(zCol(j), "perm-z")
 		}
 		if !carry.IsOne() {
@@ -286,32 +364,49 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 	y := tr.Challenge("y")
 
 	// Quotient: evaluate the y-combined constraint polynomial on the
-	// extended coset and divide by Z_H pointwise.
+	// extended coset and divide by Z_H pointwise. Every queried column's
+	// coset FFT runs in parallel, and the row loop fans out with one
+	// EvalCtx per worker (the former shared-closure EvalCtx was a data-race
+	// trap once rows run concurrently).
 	extN := pk.ExtDomain.N
 	scale := extN / n
 	allQueried := CollectQueries(pk.Constraints...)
-	ext := map[Col][]ff.Element{}
-	for _, q := range allQueried {
-		if _, done := ext[q.Col]; done {
-			continue
+	var extCols []Col
+	{
+		seen := map[Col]bool{}
+		for _, q := range allQueried {
+			if seen[q.Col] {
+				continue
+			}
+			seen[q.Col] = true
+			if _, ok := coeff[q.Col]; !ok {
+				return nil, fmt.Errorf("plonkish: constraint references unassigned column %v/%d", q.Col.Kind, q.Col.Index)
+			}
+			extCols = append(extCols, q.Col)
 		}
-		p, ok := coeff[q.Col]
-		if !ok {
-			return nil, fmt.Errorf("plonkish: constraint references unassigned column %v/%d", q.Col.Kind, q.Col.Index)
-		}
+	}
+	extVals := parallel.Map(len(extCols), func(i int) []ff.Element {
 		padded := make([]ff.Element, extN)
-		copy(padded, p)
+		copy(padded, coeff[extCols[i]])
 		pk.ExtDomain.CosetFFT(padded)
-		ext[q.Col] = padded
+		return padded
+	})
+	ext := make(map[Col][]ff.Element, len(extCols))
+	for i, c := range extCols {
+		ext[c] = extVals[i]
 	}
 	// X values over the extended coset.
 	xs := make([]ff.Element, extN)
 	g := ff.MultiplicativeGen()
-	xAcc := g
-	for j := 0; j < extN; j++ {
-		xs[j] = xAcc
-		xAcc.Mul(&xAcc, &pk.ExtDomain.Omega)
-	}
+	parallel.Range(extN, func(lo, hi int) {
+		var xAcc ff.Element
+		xAcc.Exp(&pk.ExtDomain.Omega, big.NewInt(int64(lo)))
+		xAcc.Mul(&xAcc, &g)
+		for j := lo; j < hi; j++ {
+			xs[j] = xAcc
+			xAcc.Mul(&xAcc, &pk.ExtDomain.Omega)
+		}
+	})
 	// Z_H(g·w^j) cycles with period `scale`.
 	zhInv := make([]ff.Element, scale)
 	for j := 0; j < scale; j++ {
@@ -320,23 +415,25 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 	ff.BatchInverse(zhInv)
 
 	numerator := make([]ff.Element, extN)
-	ctx := &EvalCtx{Challenges: challenges, Arg: arg}
-	for j := 0; j < extN; j++ {
-		jj := j
+	parallel.Range(extN, func(lo, hi int) {
+		j := 0
+		ctx := &EvalCtx{Challenges: challenges, Arg: arg}
 		ctx.Get = func(c Col, rot int) ff.Element {
-			idx := jj + rot*scale
+			idx := j + rot*scale
 			idx = ((idx % extN) + extN) % extN
 			return ext[c][idx]
 		}
-		ctx.X = xs[j]
-		var acc ff.Element
-		for _, con := range pk.Constraints {
-			acc.Mul(&acc, &y)
-			v := con.Eval(ctx)
-			acc.Add(&acc, &v)
+		for j = lo; j < hi; j++ {
+			ctx.X = xs[j]
+			var acc ff.Element
+			for _, con := range pk.Constraints {
+				acc.Mul(&acc, &y)
+				v := con.Eval(ctx)
+				acc.Add(&acc, &v)
+			}
+			numerator[j].Mul(&acc, &zhInv[j%scale])
 		}
-		numerator[j].Mul(&acc, &zhInv[j%scale])
-	}
+	})
 	pk.ExtDomain.CosetIFFT(numerator)
 
 	numPieces := pk.DMax - 1
@@ -378,26 +475,29 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 		return w
 	}
 	proof.Evals = make([]ff.Element, len(pk.Queries))
-	for i, q := range pk.Queries {
+	parallel.For(len(pk.Queries), func(i int) {
+		q := pk.Queries[i]
 		proof.Evals[i] = poly.Eval(coeff[q.Col], pointOf(q.Rot))
-	}
+	})
 	tr.AppendScalars("evals", proof.Evals)
 	proof.QuotientEvals = make([]ff.Element, numPieces)
-	for i := range pieces {
+	parallel.For(numPieces, func(i int) {
 		proof.QuotientEvals[i] = poly.Eval(pieces[i], x)
-	}
+	})
 	tr.AppendScalars("quotient-evals", proof.QuotientEvals)
 
 	v := tr.Challenge("v")
 
-	// Batched openings per rotation group.
+	// Batched openings per rotation group: the v-combined polynomials build
+	// in parallel; the openings themselves absorb into the transcript and
+	// stay in rotation order.
 	rots := distinctRots(pk.Queries)
-	proof.Openings = make([]*pcs.Opening, 0, len(rots))
-	for _, rot := range rots {
-		var combined []ff.Element
+	combined := parallel.Map(len(rots), func(ri int) []ff.Element {
+		rot := rots[ri]
+		var comb []ff.Element
 		vPow := ff.One()
 		addPoly := func(p []ff.Element) {
-			combined = poly.AddScaled(combined, vPow, p)
+			comb = poly.AddScaled(comb, vPow, p)
 			vPow.Mul(&vPow, &v)
 		}
 		for _, q := range pk.Queries {
@@ -410,13 +510,18 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 				addPoly(piece)
 			}
 		}
-		proof.Openings = append(proof.Openings, pk.Scheme.Open(tr, combined, pointOf(rot)))
+		return comb
+	})
+	proof.Openings = make([]*pcs.Opening, 0, len(rots))
+	for ri, rot := range rots {
+		proof.Openings = append(proof.Openings, pk.Scheme.Open(tr, combined[ri], pointOf(rot)))
 	}
 	return proof, nil
 }
 
 // compressRow folds either table columns or input expressions at a row with
-// powers of theta.
+// powers of theta. Empty lookups are rejected at constraint-build time
+// (CS.Validate), but guard anyway rather than indexing vals[-1].
 func compressRow(theta ff.Element, cols []Col, exprs []Expr, a *Assignment, row int) ff.Element {
 	var vals []ff.Element
 	if cols != nil {
@@ -430,6 +535,9 @@ func compressRow(theta ff.Element, cols []Col, exprs []Expr, a *Assignment, row 
 		for i, e := range exprs {
 			vals[i] = e.Eval(ctx)
 		}
+	}
+	if len(vals) == 0 {
+		return ff.Zero()
 	}
 	acc := vals[len(vals)-1]
 	for i := len(vals) - 2; i >= 0; i-- {

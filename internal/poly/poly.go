@@ -10,7 +10,12 @@ import (
 	"math/bits"
 
 	"repro/internal/ff"
+	"repro/internal/parallel"
 )
+
+// parallelMin is the smallest transform size worth fanning out across
+// workers; below it goroutine dispatch costs more than the butterflies.
+const parallelMin = 1 << 11
 
 // Domain is a multiplicative subgroup H = <omega> of size N = 2^LogN,
 // optionally shifted by a coset generator for extended-domain evaluation.
@@ -73,25 +78,76 @@ func bitReverse(v []ff.Element) {
 	}
 }
 
-// ntt runs an in-place radix-2 NTT with the given root.
+// ntt runs an in-place radix-2 NTT with the given root. Each stage's n/2
+// butterflies touch disjoint index pairs, so large transforms split the
+// butterfly range across the worker pool; every chunk recomputes its
+// starting twiddle with one Exp, making the result bit-identical to the
+// serial schedule.
 func ntt(v []ff.Element, omega ff.Element) {
 	n := len(v)
 	bitReverse(v)
+	par := n >= parallelMin && parallel.Workers() > 1
 	for size := 2; size <= n; size <<= 1 {
 		half := size / 2
 		var step ff.Element
 		step.Exp(&omega, big.NewInt(int64(n/size)))
-		for start := 0; start < n; start += size {
-			w := ff.One()
-			for i := start; i < start+half; i++ {
-				var t ff.Element
-				t.Mul(&w, &v[i+half])
-				v[i+half].Sub(&v[i], &t)
-				v[i].Add(&v[i], &t)
-				w.Mul(&w, &step)
+		if !par {
+			for start := 0; start < n; start += size {
+				w := ff.One()
+				for i := start; i < start+half; i++ {
+					butterfly(v, i, half, &w, &step)
+				}
 			}
+			continue
 		}
+		parallel.Range(n/2, func(lo, hi int) {
+			// Butterfly t lives in block t/half at offset t%half with
+			// twiddle step^(t%half).
+			var w ff.Element
+			for t := lo; t < hi; t++ {
+				off := t % half
+				switch {
+				case off == 0:
+					w = ff.One()
+				case t == lo:
+					w.Exp(&step, big.NewInt(int64(off)))
+				}
+				butterfly(v, (t/half)*size+off, half, &w, &step)
+			}
+		})
 	}
+}
+
+// butterfly applies one NTT butterfly at index i with stride half, then
+// advances the twiddle w by step.
+func butterfly(v []ff.Element, i, half int, w, step *ff.Element) {
+	var t ff.Element
+	t.Mul(w, &v[i+half])
+	v[i+half].Sub(&v[i], &t)
+	v[i].Add(&v[i], &t)
+	w.Mul(w, step)
+}
+
+// scaleGeometric multiplies v[i] by c0·g^i in place, chunked across the
+// worker pool (each chunk rebuilds its starting power with one Exp).
+func scaleGeometric(v []ff.Element, c0, g ff.Element) {
+	if len(v) < parallelMin || parallel.Workers() <= 1 {
+		acc := c0
+		for i := range v {
+			v[i].Mul(&v[i], &acc)
+			acc.Mul(&acc, &g)
+		}
+		return
+	}
+	parallel.Range(len(v), func(lo, hi int) {
+		var acc ff.Element
+		acc.Exp(&g, big.NewInt(int64(lo)))
+		acc.Mul(&acc, &c0)
+		for i := lo; i < hi; i++ {
+			v[i].Mul(&v[i], &acc)
+			acc.Mul(&acc, &g)
+		}
+	})
 }
 
 // FFT converts coefficient form to evaluation form over H, in place.
@@ -108,9 +164,7 @@ func (d *Domain) IFFT(v []ff.Element) {
 		panic("poly: IFFT length mismatch")
 	}
 	ntt(v, d.OmegaInv)
-	for i := range v {
-		v[i].Mul(&v[i], &d.NInv)
-	}
+	scaleGeometric(v, d.NInv, ff.One())
 }
 
 // CosetFFT evaluates the coefficient-form polynomial over the coset g·H,
@@ -119,11 +173,7 @@ func (d *Domain) CosetFFT(v []ff.Element) {
 	if len(v) != d.N {
 		panic("poly: CosetFFT length mismatch")
 	}
-	acc := ff.One()
-	for i := range v {
-		v[i].Mul(&v[i], &acc)
-		acc.Mul(&acc, &d.CosetGen)
-	}
+	scaleGeometric(v, ff.One(), d.CosetGen)
 	ntt(v, d.Omega)
 }
 
@@ -134,11 +184,7 @@ func (d *Domain) CosetIFFT(v []ff.Element) {
 		panic("poly: CosetIFFT length mismatch")
 	}
 	ntt(v, d.OmegaInv)
-	acc := d.NInv
-	for i := range v {
-		v[i].Mul(&v[i], &acc)
-		acc.Mul(&acc, &d.CosetGenInv)
-	}
+	scaleGeometric(v, d.NInv, d.CosetGenInv)
 }
 
 // Eval evaluates the coefficient-form polynomial p at x (Horner).

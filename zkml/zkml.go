@@ -21,6 +21,7 @@ import (
 	"repro/internal/ff"
 	"repro/internal/fixedpoint"
 	"repro/internal/model"
+	"repro/internal/parallel"
 	"repro/internal/pcs"
 	"repro/internal/plonkish"
 )
@@ -99,6 +100,16 @@ type System struct {
 
 // Proof is a model-inference proof with its public outputs.
 type Proof = core.Proof
+
+// SetParallelism caps the worker count used by the proving engine's
+// parallel stages (MSMs, FFTs, and the prover's per-column and per-row
+// loops). n <= 0 restores the default of GOMAXPROCS. Proofs are
+// byte-for-byte independent of this setting; it only trades wall-clock
+// time against CPU. Not safe to call concurrently with an active Prove.
+func SetParallelism(n int) { parallel.SetWorkers(n) }
+
+// Parallelism reports the current proving-engine worker count.
+func Parallelism() int { return parallel.Workers() }
 
 // Model looks up a bundled evaluation model by name (see ModelNames).
 func Model(name string) (model.Spec, error) { return model.Get(name) }
