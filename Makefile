@@ -1,10 +1,12 @@
 # Standard entry points for local development and CI.
 #
-#   make ci      vet + build + full test suite + race detector on the
-#                concurrency-sensitive packages (what CI runs)
-#   make test    full test suite only
-#   make race    race detector on the proving engine packages
-#   make bench   prover benchmarks (see EXPERIMENTS.md)
+#   make ci          vet + build + full test suite + race detector on the
+#                    concurrency-sensitive packages + short fuzz pass on the
+#                    untrusted-input decoders (what CI runs)
+#   make test        full test suite only
+#   make race        race detector on the proving engine packages
+#   make fuzz-smoke  each fuzz target briefly, from the committed corpora
+#   make bench       prover benchmarks (see EXPERIMENTS.md)
 
 GO ?= go
 
@@ -12,9 +14,25 @@ GO ?= go
 # under the race detector in CI.
 RACE_PKGS = ./internal/parallel/ ./internal/poly/ ./internal/curve/ ./internal/pcs/ ./internal/plonkish/
 
-.PHONY: ci vet build test race bench
+# Untrusted-input fuzz targets (DESIGN.md §9) as package:Target pairs; `go
+# test` allows one -fuzz pattern per invocation, so fuzz-smoke loops.
+FUZZ_TARGETS = \
+	./internal/plonkish/:FuzzProofUnmarshal \
+	./internal/plonkish/:FuzzVerify \
+	./internal/model/:FuzzModelLoad \
+	./internal/curve/:FuzzPointSetBytes
+FUZZTIME ?= 5s
 
-ci: vet build test race
+.PHONY: ci vet build test race fuzz-smoke bench
+
+ci: vet build test race fuzz-smoke
+
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%:*}; target=$${t#*:}; \
+		echo "fuzz-smoke: $$pkg $$target ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+	done
 
 vet:
 	$(GO) vet ./...

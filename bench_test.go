@@ -13,12 +13,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/experiments"
+	"repro/internal/ff"
 	"repro/internal/fixedpoint"
 	"repro/internal/gadgets"
 	"repro/internal/model"
 	"repro/internal/parallel"
 	"repro/internal/pcs"
 	"repro/internal/plonkish"
+	"repro/internal/transcript"
 )
 
 var benchFP = fixedpoint.Params{ScaleBits: 5, LookupBits: 9}
@@ -323,6 +325,43 @@ func BenchmarkProveParallelism(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkIPAVerify isolates the IPA opening check — the verifier-side
+// cost that makes IPA proofs cheap to produce but linear-time to verify
+// (Table 7's verification column). It covers the s-vector bit-flip DP,
+// whose per-round x_j^2 values are now computed once instead of inside the
+// O(n) inner loop.
+func BenchmarkIPAVerify(b *testing.B) {
+	for _, n := range []int{1 << 8, 1 << 10, 1 << 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := pcs.NewIPA(n)
+			p := make([]ff.Element, n)
+			for i := range p {
+				p[i] = ff.NewElement(uint64(i)*7 + 3)
+			}
+			c := s.Commit(p)
+			z := ff.NewElement(12345)
+			o := s.Open(transcript.New("bench"), p, z)
+			y := polyEval(p, z)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Verify(transcript.New("bench"), c, z, y, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// polyEval evaluates a coefficient-form polynomial at z (Horner).
+func polyEval(p []ff.Element, z ff.Element) ff.Element {
+	var y ff.Element
+	for i := len(p) - 1; i >= 0; i-- {
+		y.Mul(&y, &z)
+		y.Add(&y, &p[i])
+	}
+	return y
 }
 
 // §9.5: the cost estimator itself (it must be orders of magnitude cheaper

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -241,10 +242,16 @@ func cmdVerify(args []string) error {
 	}
 	proof, err := sys.ImportProof(data)
 	if err != nil {
+		if errors.Is(err, zkml.ErrMalformedProof) {
+			return fmt.Errorf("proof MALFORMED: %w", err)
+		}
 		return err
 	}
 	start := time.Now()
 	if err := sys.Verify(proof); err != nil {
+		if errors.Is(err, zkml.ErrMalformedProof) {
+			return fmt.Errorf("proof MALFORMED: %w", err)
+		}
 		return fmt.Errorf("proof INVALID: %w", err)
 	}
 	fmt.Printf("proof valid (verified in %v); outputs: %.4f\n",

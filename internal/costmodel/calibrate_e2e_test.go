@@ -1,0 +1,50 @@
+package costmodel_test
+
+// External test package: core imports costmodel, so driving core.Optimize
+// with a fresh calibration has to live outside package costmodel.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/fixedpoint"
+	"repro/internal/model"
+	"repro/internal/pcs"
+)
+
+// TestRecalibratedTablesDriveOptimize checks that a calibration produced by
+// the fixed (distinct-point) MSM benchmark still yields strictly positive,
+// monotone cost tables and that core.Optimize consumes it end to end.
+func TestRecalibratedTablesDriveOptimize(t *testing.T) {
+	calib := costmodel.Calibrate(4, 6)
+	for k := 4; k <= 6; k++ {
+		if calib.MSM[k] <= 0 {
+			t.Fatalf("MSM[%d] = %v, want > 0", k, calib.MSM[k])
+		}
+	}
+
+	spec, err := model.Get("mnist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fixedpoint.Params{ScaleBits: 5, LookupBits: 9}
+	opt := core.DefaultOptions(pcs.KZG, fp)
+	opt.MinCols, opt.MaxCols = 6, 12
+	opt.Calibration = calib
+	plan, cands, _, err := core.Optimize(spec.Build(), spec.Input(1), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("optimizer evaluated no candidates")
+	}
+	if plan.Cost <= 0 {
+		t.Fatalf("chosen plan has non-positive estimated cost %v", plan.Cost)
+	}
+	for _, c := range cands {
+		if plan.Cost > c.Cost {
+			t.Fatalf("optimizer chose cost %v over cheaper candidate %v", plan.Cost, c.Cost)
+		}
+	}
+}

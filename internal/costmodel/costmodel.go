@@ -30,6 +30,23 @@ type Calibration struct {
 	FieldOp  float64         `json:"field_op"` // one multiply-add
 }
 
+// msmBasis returns n pairwise-distinct affine points (i+1)·G. Pippenger's
+// bucket accumulation degenerates when every point is identical (each
+// bucket addition hits the expensive doubling path and the adds are
+// perfectly correlated), so calibrating eq. (1) on n copies of one point
+// mistimes real MSMs; the benchmark basis must look like real commitment
+// inputs.
+func msmBasis(n int) []curve.Affine {
+	g := curve.Generator()
+	jacs := make([]curve.Jac, n)
+	var acc curve.Jac
+	for i := range jacs {
+		acc.AddMixed(&g)
+		jacs[i] = acc
+	}
+	return curve.BatchToAffine(jacs)
+}
+
 // Calibrate measures the four operation families at sizes 2^minK..2^maxK.
 // The paper performs this once per hardware configuration (§7.4).
 func Calibrate(minK, maxK int) *Calibration {
@@ -39,6 +56,7 @@ func Calibrate(minK, maxK int) *Calibration {
 		MSM:      map[int]float64{},
 		Lookup:   map[int]float64{},
 	}
+	basis := msmBasis(1 << uint(maxK))
 	for k := minK; k <= maxK; k++ {
 		n := 1 << uint(k)
 		d := poly.NewDomain(n)
@@ -50,13 +68,11 @@ func Calibrate(minK, maxK int) *Calibration {
 		d.FFT(p)
 		c.FFT[k] = time.Since(start).Seconds()
 
-		// MSM over a modest basis (timing scales linearly in practice).
-		g := curve.Generator()
-		pts := make([]curve.Affine, n)
+		// MSM over a distinct-point basis (timing scales linearly in
+		// practice; see msmBasis for why the points must differ).
+		pts := basis[:n]
 		scs := make([]ff.Element, n)
-		base := g
-		for i := range pts {
-			pts[i] = base
+		for i := range scs {
 			scs[i] = ff.NewElement(uint64(3*i + 7))
 		}
 		start = time.Now()

@@ -8,6 +8,32 @@ import (
 
 var calib = Calibrate(8, 10)
 
+// TestMSMBasisPairwiseDistinct is the regression test for the calibration
+// bug where the MSM benchmark filled every slot with the same generator
+// point (the "base" was never advanced), so eq. (1) costs were measured on
+// a degenerate input.
+func TestMSMBasisPairwiseDistinct(t *testing.T) {
+	const n = 512
+	pts := msmBasis(n)
+	if len(pts) != n {
+		t.Fatalf("got %d points, want %d", len(pts), n)
+	}
+	seen := make(map[[32]byte]int, n)
+	for i, p := range pts {
+		if p.IsZero() {
+			t.Fatalf("point %d is the identity", i)
+		}
+		if !p.IsOnCurve() {
+			t.Fatalf("point %d not on curve", i)
+		}
+		key := p.Bytes()
+		if j, dup := seen[key]; dup {
+			t.Fatalf("points %d and %d are equal", j, i)
+		}
+		seen[key] = i
+	}
+}
+
 func TestCalibrationPopulated(t *testing.T) {
 	if calib.FieldOp <= 0 {
 		t.Fatal("field op cost not measured")

@@ -1,0 +1,39 @@
+package curve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPointSetBytes feeds arbitrary 32-byte strings to the compressed-point
+// decoder. Decoding must never panic; every accepted input must decode to a
+// point on the curve and re-encode byte-identically (the wire format is
+// injective: flag bits are canonical, infinity is exactly 0x40 || 0^31, and
+// x coordinates are reduced).
+func FuzzPointSetBytes(f *testing.F) {
+	g := Generator()
+	gb := g.Bytes()
+	f.Add(gb[:])
+	var inf [32]byte
+	inf[0] = 0x40
+	f.Add(inf[:])
+	f.Add(make([]byte, 32))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) != 32 {
+			return
+		}
+		var b [32]byte
+		copy(b[:], data)
+		var p Affine
+		if err := p.SetBytes(b); err != nil {
+			return
+		}
+		if !p.Inf && !p.IsOnCurve() {
+			t.Fatalf("decoded off-curve point from %x", b)
+		}
+		round := p.Bytes()
+		if !bytes.Equal(round[:], b[:]) {
+			t.Fatalf("non-canonical encoding accepted: %x decodes, re-encodes as %x", b, round)
+		}
+	})
+}

@@ -31,6 +31,13 @@ func Generator() Affine {
 // Infinity returns the point at infinity in affine form.
 func Infinity() Affine { return Affine{Inf: true} }
 
+// IsZero reports whether the point is the identity: either the explicit
+// infinity flag or the all-zero struct (both encode to the same compressed
+// bytes; x = 0 has no curve point, so the zero value is unambiguous).
+func (p *Affine) IsZero() bool {
+	return p.Inf || (p.X.isZero() && p.Y.isZero())
+}
+
 // IsOnCurve reports whether the point satisfies y^2 = x^3 + 3.
 func (p *Affine) IsOnCurve() bool {
 	if p.Inf {
@@ -312,9 +319,22 @@ func (p *Affine) Bytes() [32]byte {
 	return out
 }
 
-// SetBytes decodes a compressed encoding produced by Bytes.
+// SetBytes decodes a compressed encoding produced by Bytes. Decoding is
+// strict: every 32-byte string decodes to at most one point and every
+// point re-encodes to the same bytes, so serialized points are
+// non-malleable (a requirement for Fiat-Shamir transcripts over proof
+// bytes). In particular the infinity encoding must be exactly 0x40
+// followed by 31 zero bytes.
 func (p *Affine) SetBytes(b [32]byte) error {
 	if b[0]&0x40 != 0 {
+		if b[0] != 0x40 {
+			return errors.New("curve: non-canonical infinity flags")
+		}
+		for _, v := range b[1:] {
+			if v != 0 {
+				return errors.New("curve: non-canonical infinity encoding")
+			}
+		}
 		*p = Affine{Inf: true}
 		return nil
 	}

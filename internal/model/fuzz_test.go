@@ -1,0 +1,41 @@
+package model
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/zkerrors"
+)
+
+// FuzzModelLoad feeds arbitrary bytes to the model-file parser. A model
+// specification is attacker-controlled input; the parser must never panic,
+// and every rejection must wrap ErrMalformedModel so callers can
+// distinguish a bad file from an internal failure.
+func FuzzModelLoad(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"name":"x","inputs":[{"name":"in","shape":[2,2],"kind":"float"}],` +
+		`"weights":{"w":{"shape":[2],"data":[1,2]}},` +
+		`"nodes":[{"op":"relu","inputs":["in"],"output":"out"}],"outputs":["out"]}`))
+	// A real bundled model, so the fuzzer starts from a rich accepted input.
+	if spec, err := Get("mnist"); err == nil {
+		if b, err := json.Marshal(spec.Build()); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Parse(data)
+		if err != nil {
+			if !errors.Is(err, zkerrors.ErrMalformedModel) {
+				t.Fatalf("parse error does not wrap ErrMalformedModel: %v", err)
+			}
+			return
+		}
+		// Accepted graphs must survive re-validation (Parse must not hand
+		// back a graph that its own checker rejects).
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph fails Validate: %v", err)
+		}
+	})
+}

@@ -12,7 +12,19 @@ import (
 	"os"
 
 	"repro/internal/tensor"
+	"repro/internal/zkerrors"
 )
+
+// MaxTensorElems bounds any single tensor declared by a model file (inputs,
+// weights, reshape targets). Untrusted specifications cannot force
+// allocations past this, and the overflow-safe check in tensor.CheckShape
+// rejects shapes whose element product wraps around.
+const MaxTensorElems = 1 << 26
+
+// errModel returns a context-wrapped zkerrors.ErrMalformedModel.
+func errModel(format string, args ...any) error {
+	return fmt.Errorf("model: %s: %w", fmt.Sprintf(format, args...), zkerrors.ErrMalformedModel)
+}
 
 // InputKind distinguishes dense float inputs from integer id inputs
 // (embedding lookups).
@@ -104,42 +116,106 @@ func (g *Graph) weightTensor(name string) *tensor.Tensor[float64] {
 	return tensor.FromSlice(append([]float64(nil), w.Data...), w.Shape...)
 }
 
+// knownOps indexes OpCatalog for Validate.
+var knownOps = func() map[string]bool {
+	m := make(map[string]bool, len(OpCatalog))
+	for _, op := range OpCatalog {
+		m[op] = true
+	}
+	return m
+}()
+
 // Validate checks graph consistency: every node input must be produced by a
-// prior node, a graph input, or a weight; outputs must exist.
+// prior node, a graph input, or a weight; outputs must exist. It also
+// treats the graph as untrusted input (a model file is attacker-controlled;
+// see DESIGN.md §9): weight data must match its declared shape, all shapes
+// must be non-negative and bounded by MaxTensorElems, every op must be in
+// the catalog, and per-node numeric fields must be structurally sane — so
+// that no downstream executor panic is reachable from a loaded file. All
+// failures wrap zkerrors.ErrMalformedModel.
 func (g *Graph) Validate() error {
 	avail := map[string]bool{}
-	for _, in := range g.Inputs {
+	for i, in := range g.Inputs {
+		if in.Name == "" {
+			return errModel("%s: input %d has no name", g.Name, i)
+		}
+		if avail[in.Name] {
+			return errModel("%s: duplicate input %q", g.Name, in.Name)
+		}
+		if _, err := tensor.CheckShape(in.Shape, MaxTensorElems); err != nil {
+			return errModel("%s: input %q: %v", g.Name, in.Name, err)
+		}
+		if in.Kind != FloatInput && in.Kind != IDInput {
+			return errModel("%s: input %q has unknown kind %q", g.Name, in.Name, in.Kind)
+		}
 		avail[in.Name] = true
 	}
+	for name, w := range g.Weights {
+		elems, err := tensor.CheckShape(w.Shape, MaxTensorElems)
+		if err != nil {
+			return errModel("%s: weight %q: %v", g.Name, name, err)
+		}
+		if elems != len(w.Data) {
+			return errModel("%s: weight %q has %d values for shape %v (want %d)",
+				g.Name, name, len(w.Data), w.Shape, elems)
+		}
+	}
 	for i, n := range g.Nodes {
+		if !knownOps[n.Op] {
+			return errModel("%s: node %d has unknown op %q", g.Name, i, n.Op)
+		}
 		for _, in := range n.Inputs {
 			if !avail[in] {
-				return fmt.Errorf("model %s: node %d (%s) consumes undefined tensor %q", g.Name, i, n.Op, in)
+				return errModel("%s: node %d (%s) consumes undefined tensor %q", g.Name, i, n.Op, in)
 			}
 		}
 		if n.Weight != "" {
 			if _, ok := g.Weights[n.Weight]; !ok {
-				return fmt.Errorf("model %s: node %d references missing weight %q", g.Name, i, n.Weight)
+				return errModel("%s: node %d references missing weight %q", g.Name, i, n.Weight)
 			}
 		}
 		if n.Weight2 != "" {
 			if _, ok := g.Weights[n.Weight2]; !ok {
-				return fmt.Errorf("model %s: node %d references missing weight %q", g.Name, i, n.Weight2)
+				return errModel("%s: node %d references missing weight %q", g.Name, i, n.Weight2)
 			}
 		}
 		if n.Bias != "" {
 			if _, ok := g.Weights[n.Bias]; !ok {
-				return fmt.Errorf("model %s: node %d references missing bias %q", g.Name, i, n.Bias)
+				return errModel("%s: node %d references missing bias %q", g.Name, i, n.Bias)
 			}
 		}
+		if n.Stride < 0 || n.PoolK < 0 || n.Parts < 0 || n.Axis < 0 {
+			return errModel("%s: node %d (%s) has a negative numeric field", g.Name, i, n.Op)
+		}
+		if len(n.Shape) > 0 {
+			// Reshape targets allow one inferred (-1) dimension.
+			inferred := 0
+			checked := make([]int, 0, len(n.Shape))
+			for _, d := range n.Shape {
+				if d == -1 {
+					inferred++
+					continue
+				}
+				checked = append(checked, d)
+			}
+			if inferred > 1 {
+				return errModel("%s: node %d (%s) has %d inferred dimensions", g.Name, i, n.Op, inferred)
+			}
+			if _, err := tensor.CheckShape(checked, MaxTensorElems); err != nil {
+				return errModel("%s: node %d (%s): %v", g.Name, i, n.Op, err)
+			}
+		}
+		if len(n.Starts) != len(n.Ends) {
+			return errModel("%s: node %d (%s) has %d starts but %d ends", g.Name, i, n.Op, len(n.Starts), len(n.Ends))
+		}
 		if n.Output == "" {
-			return fmt.Errorf("model %s: node %d has no output", g.Name, i)
+			return errModel("%s: node %d has no output", g.Name, i)
 		}
 		avail[n.Output] = true
 	}
 	for _, out := range g.Outputs {
 		if !avail[out] {
-			return fmt.Errorf("model %s: output %q never produced", g.Name, out)
+			return errModel("%s: output %q never produced", g.Name, out)
 		}
 	}
 	return nil
@@ -163,20 +239,31 @@ func (g *Graph) Save(path string) error {
 	return os.WriteFile(path, b, 0o644)
 }
 
-// Load reads a graph from JSON.
-func Load(path string) (*Graph, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// Parse decodes and validates a graph from untrusted JSON bytes. Any
+// failure wraps zkerrors.ErrMalformedModel; arbitrary bytes never panic.
+func Parse(data []byte) (*Graph, error) {
 	var g Graph
-	if err := json.Unmarshal(b, &g); err != nil {
-		return nil, fmt.Errorf("model: parsing %s: %w", path, err)
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, errModel("decoding JSON: %v", err)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	return &g, nil
+}
+
+// Load reads a graph from a JSON file. The file content is untrusted; see
+// Parse.
+func Load(path string) (*Graph, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := Parse(b)
+	if err != nil {
+		return nil, fmt.Errorf("model: parsing %s: %w", path, err)
+	}
+	return g, nil
 }
 
 // Input is a concrete inference input: dense values for float inputs, ids

@@ -1,13 +1,14 @@
 package pcs
 
 import (
-	"errors"
+	"fmt"
 	"math/bits"
 	"sync"
 
 	"repro/internal/curve"
 	"repro/internal/ff"
 	"repro/internal/transcript"
+	"repro/internal/zkerrors"
 )
 
 // IPAScheme is a transparent polynomial commitment: a Pedersen vector
@@ -78,7 +79,6 @@ func (s *IPAScheme) Open(tr *transcript.Transcript, p []ff.Element, z ff.Element
 	for i := range g {
 		g[i] = s.basis[i].ToJac()
 	}
-	uj := s.u.ToJac()
 
 	rounds := bits.TrailingZeros(uint(s.n))
 	proof := &Opening{L: make([]curve.Affine, 0, rounds), R: make([]curve.Affine, 0, rounds)}
@@ -96,7 +96,6 @@ func (s *IPAScheme) Open(tr *transcript.Transcript, p []ff.Element, z ff.Element
 		r := curve.MSM(gLo, a[h:n])
 		t = curve.ScalarMul(&s.u, &cr)
 		r.AddAssign(&t)
-		_ = uj
 
 		la, ra := l.ToAffine(), r.ToAffine()
 		tr.AppendPoint("ipa-L", la)
@@ -130,11 +129,21 @@ func (s *IPAScheme) Open(tr *transcript.Transcript, p []ff.Element, z ff.Element
 	return proof
 }
 
-// Verify implements Scheme.
+// Verify implements Scheme. The opening is untrusted: nil openings, wrong
+// round counts, and a stray KZG witness point (which this check would
+// silently ignore, making the wire encoding malleable) are rejected as
+// malformed before any dereference.
 func (s *IPAScheme) Verify(tr *transcript.Transcript, c curve.Affine, z, y ff.Element, o *Opening) error {
+	if o == nil {
+		return fmt.Errorf("pcs: nil IPA opening: %w", zkerrors.ErrMalformedProof)
+	}
 	rounds := bits.TrailingZeros(uint(s.n))
 	if len(o.L) != rounds || len(o.R) != rounds {
-		return errors.New("pcs: IPA proof has wrong number of rounds")
+		return fmt.Errorf("pcs: IPA proof has %d/%d cross terms, want %d rounds: %w",
+			len(o.L), len(o.R), rounds, zkerrors.ErrMalformedProof)
+	}
+	if !o.KZGWitness.IsZero() {
+		return fmt.Errorf("pcs: IPA opening carries a KZG witness: %w", zkerrors.ErrMalformedProof)
 	}
 	// P_0 = C + y·U.
 	p := c.ToJac()
@@ -152,12 +161,18 @@ func (s *IPAScheme) Verify(tr *transcript.Transcript, c curve.Affine, z, y ff.El
 	ff.BatchInverse(xInvs)
 	tr.AppendScalar("ipa-a", o.A)
 
+	// Per-round squares, shared by the P_final fold below and the O(n)
+	// bit-flip DP (which previously recomputed x_j^2 for every i).
+	x2s := make([]ff.Element, rounds)
+	for j := 0; j < rounds; j++ {
+		x2s[j].Square(&xs[j])
+	}
+
 	// P_final = P_0 + sum x_j^2 L_j + x_j^{-2} R_j.
 	for j := 0; j < rounds; j++ {
-		var x2, xInv2 ff.Element
-		x2.Square(&xs[j])
+		var xInv2 ff.Element
 		xInv2.Square(&xInvs[j])
-		tl := curve.ScalarMul(&o.L[j], &x2)
+		tl := curve.ScalarMul(&o.L[j], &x2s[j])
 		tr2 := curve.ScalarMul(&o.R[j], &xInv2)
 		p.AddAssign(&tl)
 		p.AddAssign(&tr2)
@@ -174,10 +189,8 @@ func (s *IPAScheme) Verify(tr *transcript.Transcript, c curve.Affine, z, y ff.El
 	for i := 1; i < s.n; i++ {
 		top := bits.Len(uint(i)) - 1 // highest set bit position
 		j := rounds - 1 - top        // round index for that bit
-		var x2 ff.Element
-		x2.Square(&xs[j])
 		prev := i &^ (1 << uint(top))
-		sv[i].Mul(&sv[prev], &x2)
+		sv[i].Mul(&sv[prev], &x2s[j])
 	}
 	gFinal := curve.MSM(s.basis, sv)
 
@@ -214,7 +227,7 @@ func (s *IPAScheme) Verify(tr *transcript.Transcript, c curve.Affine, z, y ff.El
 	rhsScaled.AddAssign(&ru)
 	pa, ra := p.ToAffine(), rhsScaled.ToAffine()
 	if !pa.Equal(&ra) {
-		return errors.New("pcs: IPA opening verification failed")
+		return fmt.Errorf("pcs: IPA opening check failed: %w", zkerrors.ErrVerifyFailed)
 	}
 	return nil
 }

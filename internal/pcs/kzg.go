@@ -1,7 +1,7 @@
 package pcs
 
 import (
-	"errors"
+	"fmt"
 	"math/big"
 	"sync"
 
@@ -10,6 +10,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/poly"
 	"repro/internal/transcript"
+	"repro/internal/zkerrors"
 )
 
 // KZGScheme is the KZG polynomial commitment: commitments are MSMs against
@@ -143,8 +144,17 @@ func (k *KZGScheme) Open(tr *transcript.Transcript, p []ff.Element, z ff.Element
 }
 
 // Verify implements Scheme, checking (tau - z)·pi == C - y·G in G1 (the
-// trapdoor form of the pairing equation; see type doc).
+// trapdoor form of the pairing equation; see type doc). The opening is
+// untrusted: a nil opening or one carrying IPA fields (which this check
+// would silently ignore, making the wire encoding malleable) is rejected
+// as malformed.
 func (k *KZGScheme) Verify(tr *transcript.Transcript, c curve.Affine, z, y ff.Element, o *Opening) error {
+	if o == nil {
+		return fmt.Errorf("pcs: nil KZG opening: %w", zkerrors.ErrMalformedProof)
+	}
+	if len(o.L) != 0 || len(o.R) != 0 || !o.A.IsZero() {
+		return fmt.Errorf("pcs: KZG opening carries IPA fields: %w", zkerrors.ErrMalformedProof)
+	}
 	tr.AppendPoint("kzg-witness", o.KZGWitness)
 	var s ff.Element
 	s.Sub(&k.tau, &z)
@@ -155,7 +165,7 @@ func (k *KZGScheme) Verify(tr *transcript.Transcript, c curve.Affine, z, y ff.El
 	rhs.AddAssign(&yG)
 	la, ra := lhs.ToAffine(), rhs.ToAffine()
 	if !la.Equal(&ra) {
-		return errors.New("pcs: KZG opening verification failed")
+		return fmt.Errorf("pcs: KZG opening check failed: %w", zkerrors.ErrVerifyFailed)
 	}
 	return nil
 }

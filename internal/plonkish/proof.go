@@ -9,13 +9,41 @@ import (
 	"repro/internal/curve"
 	"repro/internal/ff"
 	"repro/internal/pcs"
+	"repro/internal/zkerrors"
 )
 
 // Proof wire format: a version byte, then length-prefixed sections of
-// 32-byte compressed points and 32-byte scalars. The verifier revalidates
-// every decoded point against the curve equation.
+// 32-byte compressed points and 32-byte scalars. The decoder treats the
+// input as attacker-controlled: every decoded point is revalidated against
+// the curve equation and every length prefix is capped by the bytes
+// actually remaining, so a crafted header cannot force an allocation
+// larger than a small multiple of the input size.
 
 const proofVersion = 1
+
+// wireScalarSize is the serialized size of one point or scalar; length
+// prefixes are bounded by remaining/wireScalarSize before allocating.
+const wireScalarSize = 32
+
+// wireMinOpeningSize is the minimum serialized size of one Opening: a
+// 1-point witness section (4+32), empty L and R sections (4+4), and a
+// 1-scalar section (4+32).
+const wireMinOpeningSize = 80
+
+// errMalformed returns a context-wrapped zkerrors.ErrMalformedProof.
+func errMalformed(format string, args ...any) error {
+	return fmt.Errorf("plonkish: %s: %w", fmt.Sprintf(format, args...), zkerrors.ErrMalformedProof)
+}
+
+// scalarModBytes is the big-endian scalar field modulus; serialized scalars
+// must compare below it so every field element has exactly one encoding
+// (ff.Element.SetBytes reduces silently, which would make proof bytes
+// malleable).
+var scalarModBytes = func() [32]byte {
+	var out [32]byte
+	ff.Modulus().FillBytes(out[:])
+	return out
+}()
 
 // MarshalBinary serializes the proof.
 func (p *Proof) MarshalBinary() ([]byte, error) {
@@ -50,6 +78,9 @@ func (p *Proof) MarshalBinary() ([]byte, error) {
 	binary.BigEndian.PutUint32(n[:], uint32(len(p.Openings)))
 	buf.Write(n[:])
 	for _, o := range p.Openings {
+		if o == nil {
+			return nil, errMalformed("nil opening")
+		}
 		writePoints([]curve.Affine{o.KZGWitness})
 		writePoints(o.L)
 		writePoints(o.R)
@@ -58,54 +89,63 @@ func (p *Proof) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalBinary deserializes a proof, validating every curve point.
+// UnmarshalBinary deserializes a proof, validating every curve point. All
+// failures wrap zkerrors.ErrMalformedProof; arbitrary input never panics
+// and never allocates more than a constant multiple of len(data).
 func (p *Proof) UnmarshalBinary(data []byte) error {
 	r := bytes.NewReader(data)
 	ver, err := r.ReadByte()
 	if err != nil {
-		return fmt.Errorf("plonkish: proof truncated: %w", err)
+		return errMalformed("proof truncated")
 	}
 	if ver != proofVersion {
-		return fmt.Errorf("plonkish: unsupported proof version %d", ver)
+		return errMalformed("unsupported proof version %d", ver)
 	}
-	readLen := func() (int, error) {
+	// readLen decodes a 4-byte count whose items each consume at least
+	// minItemSize bytes; counts exceeding remaining/minItemSize are
+	// rejected before any allocation (a bare `count <= remaining` check
+	// would let a 5-byte header force a 32-64x larger make).
+	readLen := func(minItemSize int) (int, error) {
 		var n [4]byte
 		if _, err := io.ReadFull(r, n[:]); err != nil {
-			return 0, err
+			return 0, errMalformed("truncated length prefix")
 		}
-		l := binary.BigEndian.Uint32(n[:])
-		if int(l) > r.Len() {
-			return 0, fmt.Errorf("plonkish: length %d exceeds remaining data", l)
+		l := int(binary.BigEndian.Uint32(n[:]))
+		if l > r.Len()/minItemSize {
+			return 0, errMalformed("length %d exceeds %d remaining bytes", l, r.Len())
 		}
-		return int(l), nil
+		return l, nil
 	}
 	readPoints := func() ([]curve.Affine, error) {
-		n, err := readLen()
+		n, err := readLen(wireScalarSize)
 		if err != nil {
 			return nil, err
 		}
 		out := make([]curve.Affine, n)
 		for i := range out {
-			var b [32]byte
+			var b [wireScalarSize]byte
 			if _, err := io.ReadFull(r, b[:]); err != nil {
-				return nil, err
+				return nil, errMalformed("truncated point")
 			}
 			if err := out[i].SetBytes(b); err != nil {
-				return nil, err
+				return nil, errMalformed("%v", err)
 			}
 		}
 		return out, nil
 	}
 	readScalars := func() ([]ff.Element, error) {
-		n, err := readLen()
+		n, err := readLen(wireScalarSize)
 		if err != nil {
 			return nil, err
 		}
 		out := make([]ff.Element, n)
 		for i := range out {
-			var b [32]byte
+			var b [wireScalarSize]byte
 			if _, err := io.ReadFull(r, b[:]); err != nil {
-				return nil, err
+				return nil, errMalformed("truncated scalar")
+			}
+			if bytes.Compare(b[:], scalarModBytes[:]) >= 0 {
+				return nil, errMalformed("non-canonical scalar encoding")
 			}
 			out[i].SetBytes(b[:])
 		}
@@ -132,7 +172,7 @@ func (p *Proof) UnmarshalBinary(data []byte) error {
 	if p.QuotientEvals, err = readScalars(); err != nil {
 		return err
 	}
-	nOpen, err := readLen()
+	nOpen, err := readLen(wireMinOpeningSize)
 	if err != nil {
 		return err
 	}
@@ -144,7 +184,7 @@ func (p *Proof) UnmarshalBinary(data []byte) error {
 			return err
 		}
 		if len(w) != 1 {
-			return fmt.Errorf("plonkish: malformed opening witness")
+			return errMalformed("opening witness section has %d points, want 1", len(w))
 		}
 		o.KZGWitness = w[0]
 		if o.L, err = readPoints(); err != nil {
@@ -158,13 +198,13 @@ func (p *Proof) UnmarshalBinary(data []byte) error {
 			return err
 		}
 		if len(a) != 1 {
-			return fmt.Errorf("plonkish: malformed opening scalar")
+			return errMalformed("opening scalar section has %d scalars, want 1", len(a))
 		}
 		o.A = a[0]
 		p.Openings[i] = o
 	}
 	if r.Len() != 0 {
-		return fmt.Errorf("plonkish: %d trailing bytes in proof", r.Len())
+		return errMalformed("%d trailing bytes", r.Len())
 	}
 	return nil
 }

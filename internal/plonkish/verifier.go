@@ -1,7 +1,6 @@
 package plonkish
 
 import (
-	"errors"
 	"fmt"
 	"math/big"
 
@@ -9,27 +8,41 @@ import (
 	"repro/internal/ff"
 	"repro/internal/poly"
 	"repro/internal/transcript"
+	"repro/internal/zkerrors"
 )
+
+// errVerify returns a context-wrapped zkerrors.ErrVerifyFailed.
+func errVerify(format string, args ...any) error {
+	return fmt.Errorf("plonkish: %s: %w", fmt.Sprintf(format, args...), zkerrors.ErrVerifyFailed)
+}
 
 // Verify checks a proof against the verifying key and public instance
 // values. It mirrors the prover's transcript exactly, checks the vanishing
 // identity at the evaluation challenge, and verifies all batched openings.
+//
+// The proof and instance are untrusted: structural defects return errors
+// wrapping zkerrors.ErrMalformedProof, failed cryptographic checks return
+// errors wrapping zkerrors.ErrVerifyFailed, and no input reachable from
+// attacker bytes panics. Only vk is trusted.
 func Verify(vk *VerifyingKey, instance [][]ff.Element, proof *Proof) error {
+	if proof == nil {
+		return errMalformed("nil proof")
+	}
 	cs := vk.CS
 	n, u := vk.N, vk.U
 	if len(instance) != cs.NumInstance {
-		return fmt.Errorf("plonkish: got %d instance columns, want %d", len(instance), cs.NumInstance)
+		return errMalformed("got %d instance columns, want %d", len(instance), cs.NumInstance)
 	}
 	for i, col := range instance {
 		if len(col) > u {
-			return fmt.Errorf("plonkish: instance column %d too long", i)
+			return errMalformed("instance column %d too long", i)
 		}
 	}
 	if len(proof.AdviceCommits) != cs.NumAdvice ||
 		len(proof.MCommits) != len(cs.Lookups) ||
 		len(proof.PhiCommits) != len(cs.Lookups) ||
 		len(proof.Evals) != len(vk.Queries) {
-		return errors.New("plonkish: proof shape mismatch")
+		return errMalformed("proof shape mismatch")
 	}
 	permActive := len(cs.PermCols()) > 0 && len(cs.Copies) > 0
 	wantZ := 0
@@ -37,14 +50,22 @@ func Verify(vk *VerifyingKey, instance [][]ff.Element, proof *Proof) error {
 		wantZ = cs.NumPermChunks()
 	}
 	if len(proof.ZCommits) != wantZ {
-		return errors.New("plonkish: proof permutation shape mismatch")
+		return errMalformed("proof permutation shape mismatch")
 	}
 	numPieces := vk.DMax - 1
 	if numPieces < 1 {
 		numPieces = 1
 	}
 	if len(proof.QuotientCommits) != numPieces || len(proof.QuotientEvals) != numPieces {
-		return errors.New("plonkish: proof quotient shape mismatch")
+		return errMalformed("proof quotient shape mismatch")
+	}
+	// Reject nil openings before any dereference; a hand-built Proof (or a
+	// future wire format) may carry them even though UnmarshalBinary never
+	// produces one.
+	for i, o := range proof.Openings {
+		if o == nil {
+			return errMalformed("nil opening %d", i)
+		}
 	}
 
 	tr := transcript.New("zkml-plonkish")
@@ -110,22 +131,34 @@ func Verify(vk *VerifyingKey, instance [][]ff.Element, proof *Proof) error {
 		instEval[i] = acc
 	}
 
-	// Constraint identity at x.
+	// Constraint identity at x. EvalCtx.Get cannot return an error, so the
+	// closure records the first defect and yields zero; the error is
+	// checked after the constraint loop instead of panicking mid-walk.
 	evalIdx := map[Query]int{}
 	for i, q := range vk.Queries {
 		evalIdx[q] = i
 	}
+	var evalErr error
 	ctx := &EvalCtx{
 		X:          x,
 		Challenges: challenges,
 		Arg:        arg,
 		Get: func(c Col, rot int) ff.Element {
 			if c.Kind == Instance {
+				if c.Index < 0 || c.Index >= len(instEval) {
+					if evalErr == nil {
+						evalErr = errMalformed("constraint references instance column %d of %d", c.Index, len(instEval))
+					}
+					return ff.Element{}
+				}
 				return instEval[c.Index]
 			}
 			i, ok := evalIdx[Query{Col: c, Rot: rot}]
 			if !ok {
-				panic(fmt.Sprintf("plonkish: constraint references unopened query %v/%d rot %d", c.Kind, c.Index, rot))
+				if evalErr == nil {
+					evalErr = errMalformed("constraint references unopened query %v/%d rot %d", c.Kind, c.Index, rot)
+				}
+				return ff.Element{}
 			}
 			return proof.Evals[i]
 		},
@@ -135,6 +168,9 @@ func Verify(vk *VerifyingKey, instance [][]ff.Element, proof *Proof) error {
 		lhs.Mul(&lhs, &y)
 		cv := con.Eval(ctx)
 		lhs.Add(&lhs, &cv)
+	}
+	if evalErr != nil {
+		return evalErr
 	}
 	// t(x) = sum x^(n·i) · piece_i(x).
 	var tEval, xn ff.Element
@@ -147,30 +183,36 @@ func Verify(vk *VerifyingKey, instance [][]ff.Element, proof *Proof) error {
 	var rhs ff.Element
 	rhs.Mul(&zh, &tEval)
 	if !lhs.Equal(&rhs) {
-		return errors.New("plonkish: vanishing identity check failed")
+		return errVerify("vanishing identity check failed")
 	}
 
 	// Batched opening verification per rotation group.
 	commitmentOf := func(c Col) (curve.Affine, error) {
+		var pool []curve.Affine
 		switch c.Kind {
 		case Fixed:
-			return vk.FixedCommits[c.Index], nil
+			pool = vk.FixedCommits
 		case Advice:
-			return proof.AdviceCommits[c.Index], nil
+			pool = proof.AdviceCommits
 		case PermSigma:
-			return vk.SigmaCommits[c.Index], nil
+			pool = vk.SigmaCommits
 		case LookupM:
-			return proof.MCommits[c.Index], nil
+			pool = proof.MCommits
 		case LookupPhi:
-			return proof.PhiCommits[c.Index], nil
+			pool = proof.PhiCommits
 		case PermZ:
-			return proof.ZCommits[c.Index], nil
+			pool = proof.ZCommits
+		default:
+			return curve.Affine{}, errMalformed("no commitment for column kind %v", c.Kind)
 		}
-		return curve.Affine{}, fmt.Errorf("plonkish: no commitment for column kind %v", c.Kind)
+		if c.Index < 0 || c.Index >= len(pool) {
+			return curve.Affine{}, errMalformed("%v commitment index %d of %d", c.Kind, c.Index, len(pool))
+		}
+		return pool[c.Index], nil
 	}
 	rots := distinctRots(vk.Queries)
 	if len(proof.Openings) != len(rots) {
-		return errors.New("plonkish: proof opening count mismatch")
+		return errMalformed("proof opening count mismatch")
 	}
 	omega := dom.Omega
 	for oi, rot := range rots {

@@ -27,6 +27,26 @@ func FromSlice[T any](data []T, shape ...int) *Tensor[T] {
 	return &Tensor[T]{Shape: append([]int(nil), shape...), Data: data}
 }
 
+// CheckShape validates an untrusted shape without panicking: every
+// dimension must be non-negative and the element count must not exceed max
+// (checked with overflow-safe multiplication, so shapes like [2^40, 2^40]
+// are rejected instead of wrapping around to a small product). It returns
+// the element count. Use this at trust boundaries (model files) before
+// handing a shape to New/FromSlice, which panic on inconsistent input.
+func CheckShape(shape []int, max int) (int, error) {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			return 0, fmt.Errorf("tensor: negative dimension in %v", shape)
+		}
+		if d > 0 && n > max/d {
+			return 0, fmt.Errorf("tensor: shape %v exceeds %d elements", shape, max)
+		}
+		n *= d
+	}
+	return n, nil
+}
+
 // NumElems returns the product of the dimensions.
 func NumElems(shape []int) int {
 	n := 1

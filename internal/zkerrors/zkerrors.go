@@ -1,0 +1,31 @@
+// Package zkerrors defines the error taxonomy for every byte that crosses
+// the system's trust boundary (see DESIGN.md §9). Proof bytes, instance
+// values, and model files are attacker-controlled; code that parses or
+// checks them must return one of these sentinels (wrapped with context via
+// fmt.Errorf("...: %w", ...)) rather than panicking or allocating
+// unboundedly. The public zkml package re-exports the sentinels so callers
+// can dispatch with errors.Is.
+package zkerrors
+
+import "errors"
+
+var (
+	// ErrMalformedProof marks proof bytes (or an in-memory Proof) that are
+	// structurally invalid: truncated, oversized length prefixes, points
+	// not on the curve, wrong section counts, nil openings, or stray
+	// fields that the active commitment backend does not produce.
+	ErrMalformedProof = errors.New("malformed proof")
+
+	// ErrMalformedModel marks a model specification that is structurally
+	// invalid: undecodable JSON, weight data that does not match its
+	// declared shape, negative or overflowing tensor dimensions, or
+	// operations outside the supported catalog.
+	ErrMalformedModel = errors.New("malformed model")
+
+	// ErrVerifyFailed marks a well-formed proof that fails a cryptographic
+	// check: the vanishing identity, a commitment opening, or a
+	// transcript-derived equation. Distinguishing this from
+	// ErrMalformedProof lets servers count attack traffic separately from
+	// honest-but-wrong proofs.
+	ErrVerifyFailed = errors.New("verification failed")
+)

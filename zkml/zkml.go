@@ -24,6 +24,21 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/pcs"
 	"repro/internal/plonkish"
+	"repro/internal/zkerrors"
+)
+
+// Error taxonomy for untrusted input (see DESIGN.md §9). Every error
+// returned while decoding or checking attacker-controlled bytes wraps one
+// of these sentinels; dispatch with errors.Is.
+var (
+	// ErrMalformedProof: proof bytes are structurally invalid (truncated,
+	// bad lengths, off-curve points, backend-inconsistent openings).
+	ErrMalformedProof = zkerrors.ErrMalformedProof
+	// ErrMalformedModel: a model specification file is structurally
+	// invalid (bad JSON, shape/data mismatches, unknown ops).
+	ErrMalformedModel = zkerrors.ErrMalformedModel
+	// ErrVerifyFailed: a well-formed proof failed a cryptographic check.
+	ErrVerifyFailed = zkerrors.ErrVerifyFailed
 )
 
 // Backend selects the polynomial commitment scheme.
@@ -201,22 +216,25 @@ func (s *System) ExportProof(p *Proof) ([]byte, error) {
 	return append(out, body...), nil
 }
 
-// ImportProof deserializes a proof produced by ExportProof.
+// ImportProof deserializes a proof produced by ExportProof. The bytes are
+// untrusted: structural failures wrap ErrMalformedProof and arbitrary
+// input never panics or over-allocates.
 func (s *System) ImportProof(data []byte) (*Proof, error) {
 	if len(data) < 1 {
-		return nil, fmt.Errorf("zkml: empty proof")
+		return nil, fmt.Errorf("zkml: empty proof: %w", ErrMalformedProof)
 	}
 	nCols := int(data[0])
 	data = data[1:]
 	inst := make([][]ff.Element, 0, nCols)
 	for c := 0; c < nCols; c++ {
 		if len(data) < 4 {
-			return nil, fmt.Errorf("zkml: truncated proof header")
+			return nil, fmt.Errorf("zkml: truncated proof header: %w", ErrMalformedProof)
 		}
 		n := int(data[0])<<24 | int(data[1])<<16 | int(data[2])<<8 | int(data[3])
 		data = data[4:]
 		if len(data) < 32*n {
-			return nil, fmt.Errorf("zkml: truncated instance values")
+			return nil, fmt.Errorf("zkml: instance column %d claims %d values with %d bytes left: %w",
+				c, n, len(data), ErrMalformedProof)
 		}
 		col := make([]ff.Element, n)
 		for i := 0; i < n; i++ {
