@@ -2,11 +2,14 @@
 #
 #   make ci          vet + build + full test suite + race detector on the
 #                    concurrency-sensitive packages + short fuzz pass on the
-#                    untrusted-input decoders (what CI runs)
+#                    untrusted-input decoders + kernel benchmark smoke run
+#                    (what CI runs)
 #   make test        full test suite only
 #   make race        race detector on the proving engine packages
 #   make fuzz-smoke  each fuzz target briefly, from the committed corpora
 #   make bench       prover benchmarks (see EXPERIMENTS.md)
+#   make bench-smoke kernel benchmarks once each, so bench code can't rot
+#   make bench-json  kernel + prover benchmark snapshot -> BENCH_3.json
 
 GO ?= go
 
@@ -23,9 +26,9 @@ FUZZ_TARGETS = \
 	./internal/curve/:FuzzPointSetBytes
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz-smoke bench
+.PHONY: ci vet build test race fuzz-smoke bench bench-smoke bench-json
 
-ci: vet build test race fuzz-smoke
+ci: vet build test race fuzz-smoke bench-smoke
 
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
@@ -48,3 +51,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# One iteration of the kernel benchmarks: compiles and runs the bench code
+# without measuring anything meaningful.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFFT|BenchmarkMSM' -benchtime=1x ./internal/poly/ ./internal/curve/
+
+# Committed perf-trajectory snapshot (see EXPERIMENTS.md and cmd/bench-snapshot).
+bench-json:
+	$(GO) run ./cmd/bench-snapshot -out BENCH_3.json

@@ -1,0 +1,162 @@
+// Command bench-snapshot measures the two proving-cost kernels (FFT, MSM)
+// and one end-to-end prove, and writes the results as a JSON snapshot. The
+// repo commits one snapshot per perf-relevant PR (BENCH_<pr>.json at the
+// root, written by `make bench-json`) so the performance trajectory stays
+// reviewable alongside the code.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/curve"
+	"repro/internal/ff"
+	"repro/internal/fixedpoint"
+	"repro/internal/model"
+	"repro/internal/pcs"
+	"repro/internal/plonkish"
+	"repro/internal/poly"
+)
+
+// snapshot is the committed JSON schema: nanoseconds per op, keyed by
+// kernel and log2 size.
+type snapshot struct {
+	Schema   string           `json:"schema"`
+	FFTNs    map[string]int64 `json:"fft_ns"`
+	MSMNs    map[string]int64 `json:"msm_ns"`
+	ProveNs  map[string]int64 `json:"prove_ns"`
+	Workers  int              `json:"workers"`
+	Hostname string           `json:"hostname,omitempty"`
+}
+
+func benchNs(f func(b *testing.B)) int64 {
+	return testing.Benchmark(f).NsPerOp()
+}
+
+func fftNs(logN int) int64 {
+	d := poly.NewDomain(1 << uint(logN))
+	p := make([]ff.Element, d.N)
+	for i := range p {
+		p[i] = ff.NewElement(uint64(i + 1))
+	}
+	return benchNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.FFT(p)
+		}
+	})
+}
+
+func msmNs(logN int) int64 {
+	n := 1 << uint(logN)
+	g := curve.Generator()
+	jacs := make([]curve.Jac, n)
+	scs := make([]ff.Element, n)
+	var acc curve.Jac
+	// Deterministic full-width scalars (s <- s^2 + i): small scalars would
+	// leave most Pippenger windows empty and understate the real cost.
+	s := ff.NewElement(3)
+	for i := 0; i < n; i++ {
+		acc.AddMixed(&g)
+		jacs[i] = acc
+		s.Mul(&s, &s)
+		inc := ff.NewElement(uint64(i + 1))
+		s.Add(&s, &inc)
+		scs[i] = s
+	}
+	pts := curve.BatchToAffine(jacs)
+	return benchNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			curve.MSM(pts, scs)
+		}
+	})
+}
+
+// proveNs times one full mnist proof (median of reps) through the same
+// compile path the root benchmarks use.
+func proveNs(name string, reps int) (int64, error) {
+	spec, err := model.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	opt := core.DefaultOptions(pcs.KZG, fixedpoint.Params{ScaleBits: 5, LookupBits: 9})
+	opt.MinCols, opt.MaxCols = 6, 16
+	opt.Calibration = costmodel.Calibrate(8, 10)
+	plan, _, _, err := core.Optimize(spec.Build(), spec.Input(1), opt)
+	if err != nil {
+		return 0, err
+	}
+	keys, err := plan.Setup()
+	if err != nil {
+		return 0, err
+	}
+	art, err := plan.Synthesize(spec.Input(2))
+	if err != nil {
+		return 0, err
+	}
+	best := int64(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := plonkish.Prove(keys.PK, art.Instance, art.Witness); err != nil {
+			return 0, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON snapshot to this path (default stdout)")
+	reps := flag.Int("prove-reps", 2, "prove repetitions (minimum is reported)")
+	flag.Parse()
+
+	snap := snapshot{
+		Schema:  "zkml-bench-snapshot/v1",
+		FFTNs:   map[string]int64{},
+		MSMNs:   map[string]int64{},
+		ProveNs: map[string]int64{},
+	}
+	snap.Workers = 0 // default scheduling; recorded for reproducibility
+	if h, err := os.Hostname(); err == nil {
+		snap.Hostname = h
+	}
+
+	for _, k := range []int{10, 14, 16} {
+		snap.FFTNs[fmt.Sprintf("2^%d", k)] = fftNs(k)
+		fmt.Fprintf(os.Stderr, "fft 2^%d done\n", k)
+	}
+	for _, k := range []int{8, 10, 12} {
+		snap.MSMNs[fmt.Sprintf("2^%d", k)] = msmNs(k)
+		fmt.Fprintf(os.Stderr, "msm 2^%d done\n", k)
+	}
+	ns, err := proveNs("mnist", *reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-snapshot: mnist prove: %v\n", err)
+		os.Exit(1)
+	}
+	snap.ProveNs["mnist/KZG"] = ns
+	fmt.Fprintln(os.Stderr, "mnist prove done")
+
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-snapshot: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -8,7 +8,6 @@ package costmodel
 import (
 	"encoding/json"
 	"fmt"
-	"math"
 	"os"
 	"time"
 
@@ -21,7 +20,8 @@ import (
 // Calibration holds measured per-operation costs for one hardware target.
 // Times are seconds for one operation at size 2^k; sizes outside the
 // measured range are extrapolated with the operation's asymptotic shape
-// (n·log n for FFTs, n/log n for Pippenger MSMs, n for the rest).
+// (n·log n for FFTs, the signed-window Pippenger operation count at the
+// kernel's own window schedule for MSMs, n for the rest).
 type Calibration struct {
 	Hardware string          `json:"hardware"`
 	FFT      map[int]float64 `json:"fft"`
@@ -171,9 +171,18 @@ func (c *Calibration) TimeFFT(k int) float64 {
 	return interp(c.FFT, k, func(k int) float64 { return float64(int64(1)<<uint(k)) * float64(k) })
 }
 
-// TimeMSM returns the estimated seconds for one size-2^k MSM.
+// TimeMSM returns the estimated seconds for one size-2^k MSM. The shape is
+// the signed-window Pippenger operation count at the kernel's own window
+// schedule: windows·(n bucket adds + 2·2^(c-1) reduction adds), with the
+// window width c (and hence the bucket count) coming from curve.WindowSize
+// so the model tracks the kernel's memory-budget clamp.
 func (c *Calibration) TimeMSM(k int) float64 {
-	return interp(c.MSM, k, func(k int) float64 { return float64(int64(1)<<uint(k)) / math.Max(1, float64(k-3)) })
+	return interp(c.MSM, k, func(k int) float64 {
+		n := int64(1) << uint(k)
+		w := curve.WindowSize(int(n))
+		windows := curve.NumWindows(w)
+		return float64(int64(windows)) * (float64(n) + 2*float64(int64(1)<<uint(w-1)))
+	})
 }
 
 // TimeLookup returns the estimated seconds to construct one lookup argument

@@ -211,9 +211,12 @@ func (z *Element) Exp(x *Element, e *big.Int) *Element {
 	return z
 }
 
-// ExpUint64 sets z = x^e for small exponents.
+// ExpUint64 sets z = x^e for machine-word exponents without allocating
+// (unlike Exp, which builds a big.Int); this is the form the prover's
+// vanishing-polynomial and power-reseed paths use.
 func (z *Element) ExpUint64(x *Element, e uint64) *Element {
-	return z.Exp(x, new(big.Int).SetUint64(e))
+	mod.ExpUint64(&z.l, &x.l, e)
+	return z
 }
 
 // IsZero reports whether z == 0.

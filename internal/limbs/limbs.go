@@ -217,14 +217,154 @@ func (m *Modulus) Exp(z, x *Limbs, e *big.Int) {
 	*z = res
 }
 
-// Inverse sets z = x^{-1} mod M (Montgomery form) via Fermat's little
-// theorem. Panics on zero input: inverting zero is always a caller bug.
+// ExpUint64 sets z = x^e mod M for a machine-word exponent. Unlike Exp it
+// allocates nothing, which matters on prover hot paths (vanishing-polynomial
+// evaluations, SRS power reseeds) where the exponent is always a small count.
+func (m *Modulus) ExpUint64(z, x *Limbs, e uint64) {
+	res := m.R // Montgomery one
+	base := *x
+	for i := bits.Len64(e) - 1; i >= 0; i-- {
+		m.MontSquare(&res, &res)
+		if e>>uint(i)&1 == 1 {
+			m.MontMul(&res, &res, &base)
+		}
+	}
+	*z = res
+}
+
+// BatchInverse inverts every non-zero element of vs in place (Montgomery
+// form) using Montgomery's trick: one Inverse plus 3(n-1) multiplications.
+// Zero entries are left as zero. This is the base-field mirror of
+// ff.BatchInverse, shared by the batch-affine MSM bucket kernel.
+func (m *Modulus) BatchInverse(vs []Limbs) {
+	m.BatchInverseScratch(vs, nil)
+}
+
+// BatchInverseScratch is BatchInverse with a caller-provided prefix buffer
+// (len(scratch) >= len(vs)), so hot loops that flush repeatedly — the MSM
+// bucket accumulator inverts a batch every few hundred additions — avoid
+// one slice allocation per call. A nil or short scratch falls back to
+// allocating.
+func (m *Modulus) BatchInverseScratch(vs, scratch []Limbs) {
+	n := len(vs)
+	if n == 0 {
+		return
+	}
+	prefix := scratch
+	if len(prefix) < n {
+		prefix = make([]Limbs, n)
+	} else {
+		prefix = prefix[:n]
+	}
+	acc := m.R
+	for i := range vs {
+		prefix[i] = acc
+		if !IsZero(&vs[i]) {
+			m.MontMul(&acc, &acc, &vs[i])
+		}
+	}
+	var inv Limbs
+	m.Inverse(&inv, &acc)
+	for i := n - 1; i >= 0; i-- {
+		if IsZero(&vs[i]) {
+			continue
+		}
+		var tmp Limbs
+		m.MontMul(&tmp, &inv, &prefix[i])
+		m.MontMul(&inv, &inv, &vs[i])
+		vs[i] = tmp
+	}
+}
+
+// Inverse sets z = x^{-1} mod M (Montgomery form) using the binary extended
+// Euclidean algorithm (HAC 14.61 shape). This is 5-10x cheaper than the
+// Fermat exponentiation it replaced (~510 shift/add word operations versus
+// ~380 Montgomery multiplications), which matters because batch-affine MSM
+// accumulation pays one inversion per bucket flush. Not constant-time; no
+// secret is ever inverted (curve coordinates and transcript challenges
+// only). Panics on zero input: inverting zero is always a caller bug.
 func (m *Modulus) Inverse(z, x *Limbs) {
 	if IsZero(x) {
 		panic("limbs: inverse of zero")
 	}
-	e := new(big.Int).Sub(m.Big, big.NewInt(2))
-	m.Exp(z, x, e)
+	// x holds a·R; binary xgcd below yields t = (a·R)^{-1} mod M, and one
+	// Montgomery multiplication by R^3 restores Montgomery form:
+	// t·R^3·R^{-1} = a^{-1}·R.
+	u, v := *x, m.M
+	x1, x2 := Limbs{1}, Limbs{}
+	for !isOneRaw(&u) && !isOneRaw(&v) {
+		for u[0]&1 == 0 {
+			shr1(&u, 0)
+			if x1[0]&1 == 0 {
+				shr1(&x1, 0)
+			} else {
+				shr1(&x1, addRaw(&x1, &m.M))
+			}
+		}
+		for v[0]&1 == 0 {
+			shr1(&v, 0)
+			if x2[0]&1 == 0 {
+				shr1(&x2, 0)
+			} else {
+				shr1(&x2, addRaw(&x2, &m.M))
+			}
+		}
+		if cmpRaw(&u, &v) >= 0 {
+			subRaw(&u, &v)
+			m.Sub(&x1, &x1, &x2)
+		} else {
+			subRaw(&v, &u)
+			m.Sub(&x2, &x2, &x1)
+		}
+	}
+	t := x1
+	if !isOneRaw(&u) {
+		t = x2
+	}
+	m.MontMul(z, &t, &m.R3)
+}
+
+// isOneRaw reports whether the raw (non-modular) limb value is 1.
+func isOneRaw(x *Limbs) bool { return x[0] == 1 && x[1]|x[2]|x[3] == 0 }
+
+// shr1 shifts x right one bit, injecting hi (0 or 1) as the new top bit.
+func shr1(x *Limbs, hi uint64) {
+	x[0] = x[0]>>1 | x[1]<<63
+	x[1] = x[1]>>1 | x[2]<<63
+	x[2] = x[2]>>1 | x[3]<<63
+	x[3] = x[3]>>1 | hi<<63
+}
+
+// addRaw sets z += x without reduction and returns the carry-out.
+func addRaw(z, x *Limbs) uint64 {
+	var c uint64
+	z[0], c = bits.Add64(z[0], x[0], 0)
+	z[1], c = bits.Add64(z[1], x[1], c)
+	z[2], c = bits.Add64(z[2], x[2], c)
+	z[3], c = bits.Add64(z[3], x[3], c)
+	return c
+}
+
+// subRaw sets z -= x without reduction (caller guarantees z >= x).
+func subRaw(z, x *Limbs) {
+	var b uint64
+	z[0], b = bits.Sub64(z[0], x[0], 0)
+	z[1], b = bits.Sub64(z[1], x[1], b)
+	z[2], b = bits.Sub64(z[2], x[2], b)
+	z[3], _ = bits.Sub64(z[3], x[3], b)
+}
+
+// cmpRaw compares raw limb values: -1, 0, or 1.
+func cmpRaw(x, y *Limbs) int {
+	for i := 3; i >= 0; i-- {
+		if x[i] < y[i] {
+			return -1
+		}
+		if x[i] > y[i] {
+			return 1
+		}
+	}
+	return 0
 }
 
 // String renders limbs for debugging.

@@ -109,6 +109,28 @@ func TestInverse(t *testing.T) {
 	}
 }
 
+// TestInverseMatchesFermat cross-checks the binary-xgcd Inverse against the
+// Fermat exponentiation it replaced, including 1, m-1, and small values
+// whose raw limb forms exercise the even/odd shift branches.
+func TestInverseMatchesFermat(t *testing.T) {
+	e := new(big.Int).Sub(m.Big, big.NewInt(2))
+	check := func(v *big.Int) {
+		x := toMont(v)
+		var got, want Limbs
+		m.Inverse(&got, &x)
+		m.Exp(&want, &x, e)
+		if !Equal(&got, &want) {
+			t.Fatalf("inverse mismatch for %v", v)
+		}
+	}
+	check(big.NewInt(1))
+	check(big.NewInt(2))
+	check(new(big.Int).Sub(m.Big, big.NewInt(1)))
+	for seed := int64(1); seed < 50; seed++ {
+		check(randBig(seed))
+	}
+}
+
 func TestNewModulusValidation(t *testing.T) {
 	for _, dec := range []string{
 		"16", // even

@@ -2,7 +2,6 @@ package pcs
 
 import (
 	"fmt"
-	"math/big"
 	"sync"
 
 	"repro/internal/curve"
@@ -62,7 +61,7 @@ func NewKZG(maxLen int) *KZGScheme {
 // extend grows the SRS to maxLen powers using a fixed-base comb table for
 // the generator (32 mixed additions per power instead of a full double-and-
 // add ladder). The powers are computed in parallel chunks, each seeding its
-// local tau power with one Exp. Caller holds kzgMu.
+// local tau power with one allocation-free ExpUint64. Caller holds kzgMu.
 func (k *KZGScheme) extend(maxLen int) {
 	if kzgTable == nil {
 		kzgTable = fixedBaseTable(k.g)
@@ -71,7 +70,7 @@ func (k *KZGScheme) extend(maxLen int) {
 	jacs := make([]curve.Jac, maxLen-start)
 	parallel.Range(len(jacs), func(lo, hi int) {
 		var tauPow ff.Element
-		tauPow.Exp(&k.tau, big.NewInt(int64(start+lo)))
+		tauPow.ExpUint64(&k.tau, uint64(start+lo))
 		for i := lo; i < hi; i++ {
 			jacs[i] = kzgTable.mul(&tauPow)
 			tauPow.Mul(&tauPow, &k.tau)

@@ -73,6 +73,45 @@ func TestProverDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+// TestProverDeterministicLargeDomain repeats the byte-identity check on a
+// 2048-row domain, where the extended coset domain crosses parallelMin and
+// the table-indexed NTT actually runs its parallel butterfly schedule (the
+// small-circuit variant above stays entirely on the serial path). KZG only:
+// it is the backend whose commit path hits every rewritten kernel, and the
+// larger domain makes the IPA variant disproportionately slow.
+func TestProverDeterministicLargeDomain(t *testing.T) {
+	cs := testCircuit()
+	const n = 2048
+	pk, vk, err := Setup(cs, n, testFixed(n), pcs.KZG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parallel.SetWorkers(0)
+	defer ff.SetRandomSource(nil)
+
+	var ref []byte
+	for _, workers := range []int{1, 2, 8} {
+		parallel.SetWorkers(workers)
+		ff.SetRandomSource(&ctrReader{seed: sha256.Sum256([]byte("determinism-large"))})
+		proof, err := Prove(pk, testInstance(24), testWitness(false, false, false))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := Verify(vk, testInstance(24), proof); err != nil {
+			t.Fatalf("workers=%d: proof does not verify: %v", workers, err)
+		}
+		b, err := proof.MarshalBinary()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = b
+		} else if !bytes.Equal(ref, b) {
+			t.Fatalf("workers=%d: proof bytes differ from workers=1", workers)
+		}
+	}
+}
+
 // TestEmptyLookupRejected is the regression test for the compressRow panic:
 // a lookup with no input expressions must be rejected at Setup/Validate time
 // with a descriptive error, not crash the prover with an index panic.

@@ -2,7 +2,6 @@ package plonkish
 
 import (
 	"fmt"
-	"math/big"
 	"sort"
 
 	"repro/internal/curve"
@@ -395,18 +394,9 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 	for i, c := range extCols {
 		ext[c] = extVals[i]
 	}
-	// X values over the extended coset.
-	xs := make([]ff.Element, extN)
-	g := ff.MultiplicativeGen()
-	parallel.Range(extN, func(lo, hi int) {
-		var xAcc ff.Element
-		xAcc.Exp(&pk.ExtDomain.Omega, big.NewInt(int64(lo)))
-		xAcc.Mul(&xAcc, &g)
-		for j := lo; j < hi; j++ {
-			xs[j] = xAcc
-			xAcc.Mul(&xAcc, &pk.ExtDomain.Omega)
-		}
-	})
+	// X values over the extended coset: the domain's shared read-only table,
+	// so no per-chunk Exp reseeds and no rebuild across Prove calls.
+	xs := pk.ExtDomain.CosetElements()
 	// Z_H(g·w^j) cycles with period `scale`.
 	zhInv := make([]ff.Element, scale)
 	for j := 0; j < scale; j++ {
@@ -466,11 +456,10 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 
 	x := tr.Challenge("x")
 
-	// Evaluations at x (and rotations).
-	omega := pk.Domain.Omega
+	// Evaluations at x (and rotations). Rotation points come from the
+	// domain's element table rather than a big.Int Exp per query.
 	pointOf := func(rot int) ff.Element {
-		var w ff.Element
-		w.Exp(&omega, big.NewInt(int64(rot)))
+		w := pk.Domain.Element(rot)
 		w.Mul(&w, &x)
 		return w
 	}

@@ -2,7 +2,6 @@ package plonkish
 
 import (
 	"fmt"
-	"math/big"
 
 	"repro/internal/curve"
 	"repro/internal/ff"
@@ -174,7 +173,7 @@ func Verify(vk *VerifyingKey, instance [][]ff.Element, proof *Proof) error {
 	}
 	// t(x) = sum x^(n·i) · piece_i(x).
 	var tEval, xn ff.Element
-	xn.Exp(&x, big.NewInt(int64(n)))
+	xn.ExpUint64(&x, uint64(n))
 	for i := numPieces - 1; i >= 0; i-- {
 		tEval.Mul(&tEval, &xn)
 		tEval.Add(&tEval, &proof.QuotientEvals[i])
@@ -214,7 +213,6 @@ func Verify(vk *VerifyingKey, instance [][]ff.Element, proof *Proof) error {
 	if len(proof.Openings) != len(rots) {
 		return errMalformed("proof opening count mismatch")
 	}
-	omega := dom.Omega
 	for oi, rot := range rots {
 		var pts []curve.Affine
 		var scs []ff.Element
@@ -244,8 +242,7 @@ func Verify(vk *VerifyingKey, instance [][]ff.Element, proof *Proof) error {
 			}
 		}
 		combined := curve.MSM(pts, scs).ToAffine()
-		var point ff.Element
-		point.Exp(&omega, big.NewInt(int64(rot)))
+		point := dom.Element(rot)
 		point.Mul(&point, &x)
 		if err := vk.Scheme.Verify(tr, combined, point, yCombined, proof.Openings[oi]); err != nil {
 			return fmt.Errorf("plonkish: opening at rotation %d: %w", rot, err)

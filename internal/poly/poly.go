@@ -2,12 +2,18 @@
 // power-of-two evaluation domains, coset FFTs for quotient computation, and
 // basic coefficient-form operations. FFT cost is the dominant prover cost
 // tracked by the ZKML cost model (eq. (1) of the paper).
+//
+// Domains are cached per size and carry lazily-built, shared power tables
+// (forward/inverse twiddles, coset scale factors, domain elements), so the
+// butterfly loops are pure table-indexed multiply-adds: no per-butterfly
+// twiddle advance and no per-chunk Exp reseeds survive on any hot path (see
+// DESIGN.md §10).
 package poly
 
 import (
 	"fmt"
-	"math/big"
 	"math/bits"
+	"sync"
 
 	"repro/internal/ff"
 	"repro/internal/parallel"
@@ -19,6 +25,9 @@ const parallelMin = 1 << 11
 
 // Domain is a multiplicative subgroup H = <omega> of size N = 2^LogN,
 // optionally shifted by a coset generator for extended-domain evaluation.
+// Domains are cached per size (NewDomain returns the shared instance) and
+// all derived tables build lazily exactly once, so they must be treated as
+// immutable after construction.
 type Domain struct {
 	N        int
 	LogN     int
@@ -29,12 +38,56 @@ type Domain struct {
 	// field's multiplicative generator so g·H never intersects H.
 	CosetGen    ff.Element
 	CosetGenInv ff.Element
+
+	// Lazily-built shared tables. omegaPows doubles as the forward twiddle
+	// table: stage s of the NTT reads omega^(j·N/2^(s+1)) = omegaPows[j<<shift].
+	omegaPows  lazyTable // omega^i for i < N
+	invPows    lazyTable // omegaInv^i for i < N/2 (inverse twiddles)
+	cosetPows  lazyTable // g^i for i < N (CosetFFT input scaling)
+	cosetScale lazyTable // NInv·g^-i for i < N (CosetIFFT output scaling, NInv folded in)
+	cosetElems lazyTable // g·omega^i for i < N (the coset evaluation points)
 }
 
+// lazyTable is a build-once table slot; the built slice is read-only.
+type lazyTable struct {
+	once sync.Once
+	t    []ff.Element
+}
+
+func (l *lazyTable) get(build func() []ff.Element) []ff.Element {
+	l.once.Do(func() { l.t = build() })
+	return l.t
+}
+
+// powers returns {c0·base^i : i < n}.
+func powers(base, c0 ff.Element, n int) []ff.Element {
+	out := make([]ff.Element, n)
+	acc := c0
+	for i := range out {
+		out[i] = acc
+		acc.Mul(&acc, &base)
+	}
+	return out
+}
+
+// domainCache shares one Domain (and therefore one set of twiddle tables)
+// per size across keygen, prover, and verifier.
+var (
+	domainMu    sync.Mutex
+	domainCache = map[int]*Domain{}
+)
+
 // NewDomain returns the evaluation domain of size n (a power of two).
+// Instances are cached per size: repeated keygen/prove/verify calls share
+// the same Domain and its lazily-built tables.
 func NewDomain(n int) *Domain {
 	if n <= 0 || n&(n-1) != 0 {
 		panic(fmt.Sprintf("poly: domain size %d not a power of two", n))
+	}
+	domainMu.Lock()
+	defer domainMu.Unlock()
+	if d, ok := domainCache[n]; ok {
+		return d
 	}
 	logN := bits.TrailingZeros(uint(n))
 	d := &Domain{N: n, LogN: logN}
@@ -44,26 +97,43 @@ func NewDomain(n int) *Domain {
 	d.NInv.Inverse(&nEl)
 	d.CosetGen = ff.MultiplicativeGen()
 	d.CosetGenInv.Inverse(&d.CosetGen)
+	domainCache[n] = d
 	return d
 }
 
-// Element returns omega^i.
-func (d *Domain) Element(i int) ff.Element {
-	i = ((i % d.N) + d.N) % d.N
-	var w ff.Element
-	w.Exp(&d.Omega, big.NewInt(int64(i)))
-	return w
+func (d *Domain) elements() []ff.Element {
+	return d.omegaPows.get(func() []ff.Element { return powers(d.Omega, ff.One(), d.N) })
 }
 
-// Elements returns all N domain elements in order.
+func (d *Domain) invTwiddles() []ff.Element {
+	return d.invPows.get(func() []ff.Element { return powers(d.OmegaInv, ff.One(), d.N/2) })
+}
+
+func (d *Domain) cosetScaleIn() []ff.Element {
+	return d.cosetPows.get(func() []ff.Element { return powers(d.CosetGen, ff.One(), d.N) })
+}
+
+func (d *Domain) cosetScaleOut() []ff.Element {
+	return d.cosetScale.get(func() []ff.Element { return powers(d.CosetGenInv, d.NInv, d.N) })
+}
+
+// Element returns omega^i (table lookup; i may be negative or exceed N).
+func (d *Domain) Element(i int) ff.Element {
+	i = ((i % d.N) + d.N) % d.N
+	return d.elements()[i]
+}
+
+// Elements returns all N domain elements in order. The slice is the shared
+// cached table: callers must treat it as read-only.
 func (d *Domain) Elements() []ff.Element {
-	out := make([]ff.Element, d.N)
-	acc := ff.One()
-	for i := range out {
-		out[i] = acc
-		acc.Mul(&acc, &d.Omega)
-	}
-	return out
+	return d.elements()
+}
+
+// CosetElements returns the extended-coset evaluation points g·omega^i in
+// order. The slice is the shared cached table: callers must treat it as
+// read-only.
+func (d *Domain) CosetElements() []ff.Element {
+	return d.cosetElems.get(func() []ff.Element { return powers(d.Omega, d.CosetGen, d.N) })
 }
 
 // bitReverse permutes v in place by bit-reversed index.
@@ -78,74 +148,84 @@ func bitReverse(v []ff.Element) {
 	}
 }
 
-// ntt runs an in-place radix-2 NTT with the given root. Each stage's n/2
-// butterflies touch disjoint index pairs, so large transforms split the
-// butterfly range across the worker pool; every chunk recomputes its
-// starting twiddle with one Exp, making the result bit-identical to the
-// serial schedule.
-func ntt(v []ff.Element, omega ff.Element) {
+// ntt runs an in-place radix-2 NTT reading twiddles from tw, where
+// tw[i] = root^i for i < n/2. Stage s (blocks of size 2^(s+1)) uses the
+// strided subset tw[off<<(logN-1-s)] = root^(off·n/2^(s+1)), so every
+// butterfly is one table read plus one multiply-add — no running twiddle
+// product. Each stage's n/2 butterflies touch disjoint index pairs, so large
+// transforms split the butterfly range across the worker pool; chunks index
+// the same shared table, making the result bit-identical to the serial
+// schedule at every worker count.
+func ntt(v []ff.Element, tw []ff.Element) {
 	n := len(v)
+	if n <= 1 {
+		return
+	}
+	logN := bits.TrailingZeros(uint(n))
 	bitReverse(v)
 	par := n >= parallelMin && parallel.Workers() > 1
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		var step ff.Element
-		step.Exp(&omega, big.NewInt(int64(n/size)))
+	for s := 0; s < logN; s++ {
+		half := 1 << uint(s)
+		size := half << 1
+		shift := uint(logN - 1 - s)
 		if !par {
 			for start := 0; start < n; start += size {
-				w := ff.One()
+				ti := 0
 				for i := start; i < start+half; i++ {
-					butterfly(v, i, half, &w, &step)
+					butterfly(v, i, half, &tw[ti])
+					ti += 1 << shift
 				}
 			}
 			continue
 		}
 		parallel.Range(n/2, func(lo, hi int) {
 			// Butterfly t lives in block t/half at offset t%half with
-			// twiddle step^(t%half).
-			var w ff.Element
+			// twiddle root^(off·n/size).
 			for t := lo; t < hi; t++ {
-				off := t % half
-				switch {
-				case off == 0:
-					w = ff.One()
-				case t == lo:
-					w.Exp(&step, big.NewInt(int64(off)))
-				}
-				butterfly(v, (t/half)*size+off, half, &w, &step)
+				off := t & (half - 1)
+				i := (t>>uint(s))<<uint(s+1) | off
+				butterfly(v, i, half, &tw[off<<shift])
 			}
 		})
 	}
 }
 
-// butterfly applies one NTT butterfly at index i with stride half, then
-// advances the twiddle w by step.
-func butterfly(v []ff.Element, i, half int, w, step *ff.Element) {
+// butterfly applies one NTT butterfly at index i with stride half and
+// twiddle w.
+func butterfly(v []ff.Element, i, half int, w *ff.Element) {
 	var t ff.Element
 	t.Mul(w, &v[i+half])
 	v[i+half].Sub(&v[i], &t)
 	v[i].Add(&v[i], &t)
-	w.Mul(w, step)
 }
 
-// scaleGeometric multiplies v[i] by c0·g^i in place, chunked across the
-// worker pool (each chunk rebuilds its starting power with one Exp).
-func scaleGeometric(v []ff.Element, c0, g ff.Element) {
+// mulByTable multiplies v[i] by table[i] in place, chunked across the
+// worker pool.
+func mulByTable(v, table []ff.Element) {
 	if len(v) < parallelMin || parallel.Workers() <= 1 {
-		acc := c0
 		for i := range v {
-			v[i].Mul(&v[i], &acc)
-			acc.Mul(&acc, &g)
+			v[i].Mul(&v[i], &table[i])
 		}
 		return
 	}
 	parallel.Range(len(v), func(lo, hi int) {
-		var acc ff.Element
-		acc.Exp(&g, big.NewInt(int64(lo)))
-		acc.Mul(&acc, &c0)
 		for i := lo; i < hi; i++ {
-			v[i].Mul(&v[i], &acc)
-			acc.Mul(&acc, &g)
+			v[i].Mul(&v[i], &table[i])
+		}
+	})
+}
+
+// scaleUniform multiplies every element of v by c in place.
+func scaleUniform(v []ff.Element, c ff.Element) {
+	if len(v) < parallelMin || parallel.Workers() <= 1 {
+		for i := range v {
+			v[i].Mul(&v[i], &c)
+		}
+		return
+	}
+	parallel.Range(len(v), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v[i].Mul(&v[i], &c)
 		}
 	})
 }
@@ -155,7 +235,7 @@ func (d *Domain) FFT(v []ff.Element) {
 	if len(v) != d.N {
 		panic("poly: FFT length mismatch")
 	}
-	ntt(v, d.Omega)
+	ntt(v, d.elements())
 }
 
 // IFFT converts evaluation form over H to coefficient form, in place.
@@ -163,8 +243,8 @@ func (d *Domain) IFFT(v []ff.Element) {
 	if len(v) != d.N {
 		panic("poly: IFFT length mismatch")
 	}
-	ntt(v, d.OmegaInv)
-	scaleGeometric(v, d.NInv, ff.One())
+	ntt(v, d.invTwiddles())
+	scaleUniform(v, d.NInv)
 }
 
 // CosetFFT evaluates the coefficient-form polynomial over the coset g·H,
@@ -173,8 +253,8 @@ func (d *Domain) CosetFFT(v []ff.Element) {
 	if len(v) != d.N {
 		panic("poly: CosetFFT length mismatch")
 	}
-	scaleGeometric(v, ff.One(), d.CosetGen)
-	ntt(v, d.Omega)
+	mulByTable(v, d.cosetScaleIn())
+	ntt(v, d.elements())
 }
 
 // CosetIFFT interpolates evaluations over g·H back to coefficient form,
@@ -183,8 +263,8 @@ func (d *Domain) CosetIFFT(v []ff.Element) {
 	if len(v) != d.N {
 		panic("poly: CosetIFFT length mismatch")
 	}
-	ntt(v, d.OmegaInv)
-	scaleGeometric(v, d.NInv, d.CosetGenInv)
+	ntt(v, d.invTwiddles())
+	mulByTable(v, d.cosetScaleOut())
 }
 
 // Eval evaluates the coefficient-form polynomial p at x (Horner).
@@ -200,7 +280,7 @@ func Eval(p []ff.Element, x ff.Element) ff.Element {
 // VanishingEval returns Z_H(x) = x^N - 1 for a domain of size n.
 func VanishingEval(n int, x ff.Element) ff.Element {
 	var z ff.Element
-	z.Exp(&x, big.NewInt(int64(n)))
+	z.ExpUint64(&x, uint64(n))
 	one := ff.One()
 	z.Sub(&z, &one)
 	return z

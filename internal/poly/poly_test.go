@@ -1,9 +1,11 @@
 package poly
 
 import (
+	"math/big"
 	"testing"
 
 	"repro/internal/ff"
+	"repro/internal/parallel"
 )
 
 func randPoly(n int) []ff.Element {
@@ -205,5 +207,101 @@ func BenchmarkFFT(b *testing.B) {
 				d.FFT(p)
 			}
 		})
+	}
+}
+
+// naiveDFT evaluates p at every power of root by Horner — the O(n²)
+// reference the table-driven NTT is cross-checked against.
+func naiveDFT(p []ff.Element, root ff.Element) []ff.Element {
+	n := len(p)
+	out := make([]ff.Element, n)
+	x := ff.One()
+	for i := 0; i < n; i++ {
+		out[i] = Eval(p, x)
+		x.Mul(&x, &root)
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 512} {
+		d := NewDomain(n)
+		p := randPoly(n)
+		want := naiveDFT(p, d.Omega)
+		got := append([]ff.Element(nil), p...)
+		d.FFT(got)
+		for i := range got {
+			if !got[i].Equal(&want[i]) {
+				t.Fatalf("n=%d: FFT disagrees with naive DFT at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestFFTIdenticalAcrossWorkers pins the determinism claim for the shared
+// twiddle tables: the parallel butterfly schedule must produce bit-identical
+// outputs at every worker count, for sizes below, at, and above parallelMin.
+func TestFFTIdenticalAcrossWorkers(t *testing.T) {
+	for _, n := range []int{parallelMin / 2, parallelMin, parallelMin * 2} {
+		d := NewDomain(n)
+		p := randPoly(n)
+		defer parallel.SetWorkers(0)
+		variants := [][]ff.Element{}
+		for _, w := range []int{1, 2, 4, 8} {
+			parallel.SetWorkers(w)
+			v := append([]ff.Element(nil), p...)
+			d.FFT(v)
+			d.CosetFFT(v)
+			d.CosetIFFT(v)
+			d.IFFT(v)
+			variants = append(variants, v)
+		}
+		for k := 1; k < len(variants); k++ {
+			for i := range variants[0] {
+				if !variants[0][i].Equal(&variants[k][i]) {
+					t.Fatalf("n=%d: transform differs between 1 and %d workers at index %d", n, []int{1, 2, 4, 8}[k], i)
+				}
+			}
+		}
+	}
+}
+
+func TestDomainCacheShared(t *testing.T) {
+	if NewDomain(256) != NewDomain(256) {
+		t.Fatal("NewDomain should return the cached instance per size")
+	}
+	if NewDomain(256) == NewDomain(512) {
+		t.Fatal("distinct sizes must get distinct domains")
+	}
+}
+
+func TestDomainElementMatchesExp(t *testing.T) {
+	d := NewDomain(32)
+	for _, i := range []int{0, 1, 5, 31, 32, 33, -1, -7, -32, 100, -100} {
+		var want ff.Element
+		e := int64(i)
+		if e < 0 {
+			want.Exp(&d.Omega, big.NewInt(e))
+		} else {
+			want.ExpUint64(&d.Omega, uint64(e))
+		}
+		got := d.Element(i)
+		if !got.Equal(&want) {
+			t.Fatalf("Element(%d) != omega^%d", i, i)
+		}
+	}
+}
+
+func TestCosetElements(t *testing.T) {
+	d := NewDomain(16)
+	xs := d.CosetElements()
+	g := ff.MultiplicativeGen()
+	for i := range xs {
+		var want ff.Element
+		w := d.Element(i)
+		want.Mul(&g, &w)
+		if !xs[i].Equal(&want) {
+			t.Fatalf("CosetElements()[%d] != g·omega^%d", i, i)
+		}
 	}
 }
