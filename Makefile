@@ -9,7 +9,9 @@
 #   make fuzz-smoke  each fuzz target briefly, from the committed corpora
 #   make bench       prover benchmarks (see EXPERIMENTS.md)
 #   make bench-smoke kernel benchmarks once each, so bench code can't rot
-#   make bench-json  kernel + prover benchmark snapshot -> BENCH_3.json
+#   make trace-smoke traced prove end to end, then validate the trace report
+#   make bench-json  kernel + prover benchmark snapshot (with cost-model
+#                    relative error) -> BENCH_5.json
 
 GO ?= go
 
@@ -26,9 +28,9 @@ FUZZ_TARGETS = \
 	./internal/curve/:FuzzPointSetBytes
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz-smoke bench bench-smoke bench-json
+.PHONY: ci vet build test race fuzz-smoke bench bench-smoke trace-smoke bench-json
 
-ci: vet build test race fuzz-smoke bench-smoke
+ci: vet build test race fuzz-smoke bench-smoke trace-smoke
 
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
@@ -57,6 +59,15 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFFT|BenchmarkMSM' -benchtime=1x ./internal/poly/ ./internal/curve/
 
+# Prove once with tracing on and check that the report is well-formed: the
+# schema parses, every pipeline stage is present, and the cost-model
+# comparison is populated (DESIGN.md §11).
+trace-smoke:
+	@tmp=$$(mktemp -t zkml-trace.XXXXXX.json); \
+	$(GO) run ./cmd/zkml prove -model mnist -scale-bits 5 -lookup-bits 9 -max-cols 16 -trace $$tmp && \
+	$(GO) run ./cmd/zkml trace-check -in $$tmp; \
+	st=$$?; rm -f $$tmp; exit $$st
+
 # Committed perf-trajectory snapshot (see EXPERIMENTS.md and cmd/bench-snapshot).
 bench-json:
-	$(GO) run ./cmd/bench-snapshot -out BENCH_3.json
+	$(GO) run ./cmd/bench-snapshot -out BENCH_5.json

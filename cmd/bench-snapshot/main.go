@@ -1,8 +1,9 @@
 // Command bench-snapshot measures the two proving-cost kernels (FFT, MSM)
-// and one end-to-end prove, and writes the results as a JSON snapshot. The
-// repo commits one snapshot per perf-relevant PR (BENCH_<pr>.json at the
-// root, written by `make bench-json`) so the performance trajectory stays
-// reviewable alongside the code.
+// and one end-to-end prove per commitment backend, and writes the results
+// as a JSON snapshot — including the cost model's per-stage relative error
+// against a traced prove, so estimator drift is reviewable alongside kernel
+// timings. The repo commits one snapshot per perf-relevant PR
+// (BENCH_<pr>.json at the root, written by `make bench-json`).
 package main
 
 import (
@@ -19,20 +20,29 @@ import (
 	"repro/internal/ff"
 	"repro/internal/fixedpoint"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pcs"
 	"repro/internal/plonkish"
 	"repro/internal/poly"
 )
 
-// snapshot is the committed JSON schema: nanoseconds per op, keyed by
-// kernel and log2 size.
+// stageError is one predicted-vs-measured cost-model row (seconds).
+type stageError struct {
+	PredictedS float64 `json:"predicted_s"`
+	MeasuredS  float64 `json:"measured_s"`
+	RelErr     float64 `json:"rel_err"`
+}
+
+// snapshot is the committed JSON schema: nanoseconds per op keyed by kernel
+// and log2 size, plus per-stage cost-model error keyed by model/backend.
 type snapshot struct {
-	Schema   string           `json:"schema"`
-	FFTNs    map[string]int64 `json:"fft_ns"`
-	MSMNs    map[string]int64 `json:"msm_ns"`
-	ProveNs  map[string]int64 `json:"prove_ns"`
-	Workers  int              `json:"workers"`
-	Hostname string           `json:"hostname,omitempty"`
+	Schema    string                           `json:"schema"`
+	FFTNs     map[string]int64                 `json:"fft_ns"`
+	MSMNs     map[string]int64                 `json:"msm_ns"`
+	ProveNs   map[string]int64                 `json:"prove_ns"`
+	CostModel map[string]map[string]stageError `json:"cost_model"`
+	Workers   int                              `json:"workers"`
+	Hostname  string                           `json:"hostname,omitempty"`
 }
 
 func benchNs(f func(b *testing.B)) int64 {
@@ -77,40 +87,45 @@ func msmNs(logN int) int64 {
 	})
 }
 
-// proveNs times one full mnist proof (median of reps) through the same
-// compile path the root benchmarks use.
-func proveNs(name string, reps int) (int64, error) {
+// proveModel compiles one model for a backend and proves it reps times with
+// tracing on (tracing overhead is nil checks and a handful of atomics, well
+// under timing noise), reporting the best wall time and the cost model's
+// per-stage comparison for that fastest run.
+func proveModel(name string, backend pcs.Backend, calib *costmodel.Calibration, reps int) (int64, []obs.StageComparison, error) {
 	spec, err := model.Get(name)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	opt := core.DefaultOptions(pcs.KZG, fixedpoint.Params{ScaleBits: 5, LookupBits: 9})
+	opt := core.DefaultOptions(backend, fixedpoint.Params{ScaleBits: 5, LookupBits: 9})
 	opt.MinCols, opt.MaxCols = 6, 16
-	opt.Calibration = costmodel.Calibrate(8, 10)
+	opt.Calibration = calib
 	plan, _, _, err := core.Optimize(spec.Build(), spec.Input(1), opt)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	keys, err := plan.Setup()
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	art, err := plan.Synthesize(spec.Input(2))
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	best := int64(0)
+	var bestCmp []obs.StageComparison
 	for i := 0; i < reps; i++ {
+		trace := obs.NewTrace()
 		start := time.Now()
-		if _, err := plonkish.Prove(keys.PK, art.Instance, art.Witness); err != nil {
-			return 0, err
+		if _, err := plonkish.ProveTraced(keys.PK, art.Instance, art.Witness, trace); err != nil {
+			return 0, nil, err
 		}
 		ns := time.Since(start).Nanoseconds()
 		if best == 0 || ns < best {
 			best = ns
+			bestCmp = plan.CompareEstimate(trace.Report())
 		}
 	}
-	return best, nil
+	return best, bestCmp, nil
 }
 
 func main() {
@@ -119,10 +134,11 @@ func main() {
 	flag.Parse()
 
 	snap := snapshot{
-		Schema:  "zkml-bench-snapshot/v1",
-		FFTNs:   map[string]int64{},
-		MSMNs:   map[string]int64{},
-		ProveNs: map[string]int64{},
+		Schema:    "zkml-bench-snapshot/v2",
+		FFTNs:     map[string]int64{},
+		MSMNs:     map[string]int64{},
+		ProveNs:   map[string]int64{},
+		CostModel: map[string]map[string]stageError{},
 	}
 	snap.Workers = 0 // default scheduling; recorded for reproducibility
 	if h, err := os.Hostname(); err == nil {
@@ -137,13 +153,22 @@ func main() {
 		snap.MSMNs[fmt.Sprintf("2^%d", k)] = msmNs(k)
 		fmt.Fprintf(os.Stderr, "msm 2^%d done\n", k)
 	}
-	ns, err := proveNs("mnist", *reps)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "bench-snapshot: mnist prove: %v\n", err)
-		os.Exit(1)
+	calib := costmodel.Calibrate(8, 10)
+	for _, backend := range []pcs.Backend{pcs.KZG, pcs.IPA} {
+		key := fmt.Sprintf("mnist/%s", backend)
+		ns, cmp, err := proveModel("mnist", backend, calib, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-snapshot: %s prove: %v\n", key, err)
+			os.Exit(1)
+		}
+		snap.ProveNs[key] = ns
+		rows := map[string]stageError{}
+		for _, c := range cmp {
+			rows[c.Stage] = stageError{PredictedS: c.PredictedSeconds, MeasuredS: c.MeasuredSeconds, RelErr: c.RelErr}
+		}
+		snap.CostModel[key] = rows
+		fmt.Fprintf(os.Stderr, "%s prove done\n", key)
 	}
-	snap.ProveNs["mnist/KZG"] = ns
-	fmt.Fprintln(os.Stderr, "mnist prove done")
 
 	b, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

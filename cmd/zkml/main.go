@@ -7,11 +7,14 @@
 //	zkml export -model mnist -out m.json      write a model spec to JSON
 //	zkml optimize -model mnist [-backend ipa] show the optimizer's plan
 //	zkml prove -model mnist [-seed 7]         compile, prove, verify one inference
+//	zkml prove -model mnist -trace t.json     same, with a per-stage trace report
 //	zkml verify -model mnist -in proof.bin    verify a serialized proof
+//	zkml trace-check -in t.json               validate a trace report (CI smoke check)
 //	zkml calibrate [-out calib.json]          benchmark this machine's cost profile
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -20,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/obs"
 	"repro/zkml"
 )
 
@@ -41,6 +45,8 @@ func main() {
 		err = cmdProve(args)
 	case "verify":
 		err = cmdVerify(args)
+	case "trace-check":
+		err = cmdTraceCheck(args)
 	case "calibrate":
 		err = cmdCalibrate(args)
 	default:
@@ -54,7 +60,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zkml <models|export|optimize|prove|verify|calibrate> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: zkml <models|export|optimize|prove|verify|trace-check|calibrate> [flags]`)
 }
 
 func commonFlags(fs *flag.FlagSet) (modelName *string, backend *string, scaleBits, lookupBits, maxCols *int, seed *int64) {
@@ -161,6 +167,7 @@ func cmdProve(args []string) error {
 	fs := flag.NewFlagSet("prove", flag.ExitOnError)
 	name, backend, sb, lb, mc, seed := commonFlags(fs)
 	out := fs.String("out", "", "write the serialized proof to this file")
+	tracePath := fs.String("trace", "", "write a per-stage trace report (JSON) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,9 +187,21 @@ func cmdProve(args []string) error {
 	fmt.Printf("compiled in %v: %s\n", time.Since(start).Round(time.Millisecond), sys.Describe())
 
 	start = time.Now()
-	proof, err := sys.Prove(spec.Input(*seed))
-	if err != nil {
-		return err
+	var proof *zkml.Proof
+	if *tracePath != "" {
+		var rep *obs.Report
+		proof, rep, err = sys.ProveTraced(spec.Input(*seed))
+		if err != nil {
+			return err
+		}
+		if err := writeTrace(*tracePath, *name, *backend, sys, rep); err != nil {
+			return err
+		}
+	} else {
+		proof, err = sys.Prove(spec.Input(*seed))
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("proved in %v, proof %d bytes\n", time.Since(start).Round(time.Millisecond), proof.Proof.Size())
 
@@ -208,6 +227,77 @@ func cmdProve(args []string) error {
 		limit = 16
 	}
 	fmt.Printf("public outputs (%d values): %.4f\n", len(outs), outs[:limit])
+	return nil
+}
+
+// traceFileSchema tags the JSON payload written by `zkml prove -trace`.
+const traceFileSchema = "zkml-trace/v1"
+
+// traceFile is the `zkml prove -trace` payload: the raw stage/kernel
+// report plus the cost model's predicted-vs-measured stage breakdown.
+type traceFile struct {
+	Schema    string                `json:"schema"`
+	Model     string                `json:"model"`
+	Backend   string                `json:"backend"`
+	Report    *obs.Report           `json:"report"`
+	CostModel []obs.StageComparison `json:"cost_model"`
+}
+
+// writeTrace prints the stage breakdown and writes the trace report file.
+func writeTrace(path, model, backend string, sys *zkml.System, rep *obs.Report) error {
+	cmp := sys.CompareEstimate(rep)
+	fmt.Printf("trace: %.3fs total, %d MSMs, %d FFTs, %d batch-inv flushes, %d opens (%.3fs)\n",
+		rep.TotalSeconds, rep.MSMCount, rep.FFTCount, rep.BatchInvFlushes, rep.Opens, rep.OpenSeconds)
+	fmt.Println("  stage        predicted  measured   rel-err")
+	for _, c := range cmp {
+		fmt.Printf("  %-12s %8.3fs %8.3fs  %+6.1f%%\n",
+			c.Stage, c.PredictedSeconds, c.MeasuredSeconds, 100*c.RelErr)
+	}
+	data, err := json.MarshalIndent(traceFile{
+		Schema: traceFileSchema, Model: model, Backend: backend,
+		Report: rep, CostModel: cmp,
+	}, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s; check with: zkml trace-check -in %s\n", path, path)
+	return nil
+}
+
+// cmdTraceCheck validates a trace report file: it must parse, carry the
+// expected schema, and contain every prover pipeline stage. This is the CI
+// smoke check behind `make trace-smoke`.
+func cmdTraceCheck(args []string) error {
+	fs := flag.NewFlagSet("trace-check", flag.ExitOnError)
+	in := fs.String("in", "", "trace report file (from `zkml prove -trace`)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("trace-check requires -in <trace file>")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("trace report does not parse: %w", err)
+	}
+	if tf.Schema != traceFileSchema {
+		return fmt.Errorf("trace report schema %q, want %q", tf.Schema, traceFileSchema)
+	}
+	if err := tf.Report.Validate(); err != nil {
+		return fmt.Errorf("trace report invalid: %w", err)
+	}
+	if len(tf.CostModel) == 0 {
+		return fmt.Errorf("trace report has no cost-model comparison")
+	}
+	fmt.Printf("trace report OK: %s/%s, %.3fs total, %d stages, %d cost-model rows\n",
+		tf.Model, tf.Backend, tf.Report.TotalSeconds, len(tf.Report.Stages), len(tf.CostModel))
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/fixedpoint"
 	"repro/internal/gadgets"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/pcs"
 	"repro/internal/plonkish"
 )
@@ -101,6 +102,9 @@ type Plan struct {
 	Sample *model.Input
 	Candidate
 	Backend pcs.Backend
+	// Calibration is the cost calibration the plan was priced with; it
+	// drives CompareEstimate's predicted-vs-measured stage breakdown.
+	Calibration *costmodel.Calibration
 }
 
 // Stats reports optimizer behaviour (Table 12).
@@ -185,7 +189,7 @@ func Optimize(g *model.Graph, sample *model.Input, opt Options) (*Plan, []Candid
 	if best == nil {
 		return nil, all, stats, fmt.Errorf("core: no feasible layout for %s in [%d,%d] columns", g.Name, opt.MinCols, opt.MaxCols)
 	}
-	plan := &Plan{Graph: g, Sample: sample, Candidate: *best, Backend: opt.Backend}
+	plan := &Plan{Graph: g, Sample: sample, Candidate: *best, Backend: opt.Backend, Calibration: opt.Calibration}
 	return plan, all, stats, nil
 }
 
@@ -234,7 +238,7 @@ func PlanFor(g *model.Graph, sample *model.Input, cfg gadgets.Config, backend pc
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Graph: g, Sample: sample, Candidate: *cand, Backend: backend}, nil
+	return &Plan{Graph: g, Sample: sample, Candidate: *cand, Backend: backend, Calibration: calib}, nil
 }
 
 // PlanAt is PlanFor with an explicit grid height n >= the minimum (used to
@@ -317,6 +321,34 @@ func (p *Plan) Prove(keys *Keys, in *model.Input) (*Proof, error) {
 		return nil, err
 	}
 	return &Proof{Proof: proof, Instance: art.Instance}, nil
+}
+
+// ProveTraced is Prove with stage-level observability: it returns the
+// proof together with an obs.Report of per-stage wall times and kernel
+// counters. The proof bytes are identical to an untraced Prove. The report
+// covers only the plonkish proving pipeline; witness synthesis happens
+// before tracing starts.
+func (p *Plan) ProveTraced(keys *Keys, in *model.Input) (*Proof, *obs.Report, error) {
+	art, err := p.Synthesize(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	trace := obs.NewTrace()
+	proof, err := plonkish.ProveTraced(keys.PK, art.Instance, art.Witness, trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Proof{Proof: proof, Instance: art.Instance}, trace.Report(), nil
+}
+
+// CompareEstimate lines a traced run's measured stage times up against the
+// cost model's per-stage predictions for this plan's layout (paper §7.4,
+// eqs. (1)–(2)). Returns nil when the plan carries no calibration.
+func (p *Plan) CompareEstimate(r *obs.Report) []obs.StageComparison {
+	if p.Calibration == nil || r == nil {
+		return nil
+	}
+	return r.CompareEstimate(p.Calibration.PredictStages(p.Layout))
 }
 
 // Verify checks a proof against the verification key and public values.

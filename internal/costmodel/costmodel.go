@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/curve"
 	"repro/internal/ff"
+	"repro/internal/obs"
 	"repro/internal/pcs"
 	"repro/internal/poly"
 )
@@ -128,9 +129,47 @@ func LoadCalibration(path string) (*Calibration, error) {
 	return &c, nil
 }
 
+// Validate checks that every cost table a layout decision depends on is
+// populated. A calibration file with an empty MSM or Lookup table (or a
+// zero FieldOp) would silently price those operations at 0 and skew layout
+// selection toward whatever the file happens to measure.
+func (c *Calibration) Validate() error {
+	if c == nil {
+		return fmt.Errorf("costmodel: nil calibration")
+	}
+	if len(c.FFT) == 0 {
+		return fmt.Errorf("costmodel: calibration has empty FFT table")
+	}
+	if len(c.MSM) == 0 {
+		return fmt.Errorf("costmodel: calibration has empty MSM table")
+	}
+	if len(c.Lookup) == 0 {
+		return fmt.Errorf("costmodel: calibration has empty Lookup table")
+	}
+	if c.FieldOp <= 0 {
+		return fmt.Errorf("costmodel: calibration has non-positive FieldOp %g", c.FieldOp)
+	}
+	return nil
+}
+
+// loadValidCalibration loads path and accepts it only if every cost table
+// passes Validate; the bool reports whether the file is usable.
+func loadValidCalibration(path string) (*Calibration, bool) {
+	c, err := LoadCalibration(path)
+	if err != nil {
+		return nil, false
+	}
+	if err := c.Validate(); err != nil {
+		return nil, false
+	}
+	return c, true
+}
+
 // LoadOrCalibrate loads a cached calibration or produces and caches one.
+// Partial files (any empty table or zero FieldOp) are treated as missing
+// and trigger recalibration rather than pricing operations at 0.
 func LoadOrCalibrate(path string) *Calibration {
-	if c, err := LoadCalibration(path); err == nil && len(c.FFT) > 0 {
+	if c, ok := loadValidCalibration(path); ok {
 		return c
 	}
 	c := DefaultCalibration()
@@ -209,15 +248,7 @@ type Layout struct {
 //
 //	n_FFT = N_i + N_a + 3·N_lk + (N_pm + d_max - 3)/(d_max - 2)
 func (l Layout) NumFFT() int {
-	d := l.DMax
-	if d < 3 {
-		d = 3
-	}
-	perm := 0
-	if l.NumPermCols > 0 {
-		perm = (l.NumPermCols + d - 3) / (d - 2)
-	}
-	return l.NumInstance + l.NumAdvice + 3*l.NumLookups + perm
+	return l.NumInstance + l.NumAdvice + 3*l.NumLookups + l.permChunks()
 }
 
 // NumMSM follows the paper: n_FFT + d_max - 1 for KZG, n_FFT + d_max for
@@ -258,18 +289,56 @@ func (c *Calibration) EstimateProvingTime(l Layout) float64 {
 	return t
 }
 
-// EstimateProofSize returns the proof size in bytes for a layout:
-// commitments (advice + 2 per lookup + permutation chunks + quotient
-// pieces), evaluations, and the per-point opening proofs.
-func (l Layout) EstimateProofSize() int {
+// permChunks returns the permutation grand-product chunk count, the perm
+// term of eq. (2).
+func (l Layout) permChunks() int {
+	if l.NumPermCols == 0 {
+		return 0
+	}
 	d := l.DMax
 	if d < 3 {
 		d = 3
 	}
-	chunks := 0
-	if l.NumPermCols > 0 {
-		chunks = (l.NumPermCols + d - 3) / (d - 2)
+	return (l.NumPermCols + d - 3) / (d - 2)
+}
+
+// PredictStages splits EstimateProvingTime across the prover pipeline
+// stages traced by internal/obs, attributing each term of eqs. (1)–(2) to
+// the stage that performs it: base-domain FFTs and commitment MSMs to the
+// stage that builds the column, extended-domain FFTs and constraint field
+// ops to the quotient, and the MSM budget the model assigns beyond the
+// per-stage commitments to the opening. The stage values sum exactly to
+// EstimateProvingTime, so Report.CompareEstimate's "total" row validates
+// eq. (1) end to end while the per-stage rows localize the error.
+func (c *Calibration) PredictStages(l Layout) obs.StagePrediction {
+	fft := c.TimeFFT(l.K)
+	msm := c.TimeMSM(l.K)
+	chunks := l.permChunks()
+	nFFT := float64(l.NumFFT())
+	extN := float64(int64(1) << uint(l.ExtK()))
+
+	p := obs.StagePrediction{}
+	p[obs.StageCommit.String()] = float64(l.NumInstance+l.NumAdvice)*fft + float64(l.NumAdvice)*msm
+	p[obs.StageLookup.String()] = float64(3*l.NumLookups)*fft + float64(2*l.NumLookups)*msm +
+		float64(l.NumLookups)*c.TimeLookup(l.K)
+	p[obs.StagePerm.String()] = float64(chunks) * (fft + msm)
+	p[obs.StageQuotient.String()] = (nFFT+1)*c.TimeFFT(l.ExtK()) + float64(l.DMax-1)*msm +
+		float64(l.ConstraintOps)*extN*c.FieldOp
+	// Whatever MSM count eq. (1) budgets beyond the commitments attributed
+	// above lands in the opening stage.
+	open := float64(l.NumMSM()) - float64(l.NumAdvice+2*l.NumLookups+chunks+(l.DMax-1))
+	if open < 0 {
+		open = 0
 	}
+	p[obs.StageOpen.String()] = open * msm
+	return p
+}
+
+// EstimateProofSize returns the proof size in bytes for a layout:
+// commitments (advice + 2 per lookup + permutation chunks + quotient
+// pieces), evaluations, and the per-point opening proofs.
+func (l Layout) EstimateProofSize() int {
+	chunks := l.permChunks()
 	commits := l.NumAdvice + 2*l.NumLookups + chunks + (l.DMax - 1)
 	// Evaluations: one per advice/fixed/sigma query plus argument polys.
 	evals := l.NumAdvice + l.NumFixed + l.NumPermCols + 3*l.NumLookups + 2*chunks + (l.DMax - 1)

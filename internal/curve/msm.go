@@ -78,6 +78,7 @@ func MSM(points []Affine, scalars []ff.Element) Jac {
 	if n == 0 {
 		return Jac{}
 	}
+	kernelTrace.Load().RecordMSM(n)
 	if n < 8 {
 		var acc Jac
 		for i := range points {
@@ -380,6 +381,7 @@ func affineApply(p, q *Affine, inv *Fp) {
 // flushOnce resolves every scheduled op and conflict pair with one batch
 // inversion, then requeues the pair results and parked pend points.
 func (a *batchAdder) flushOnce() {
+	kernelTrace.Load().RecordBatchInvFlush()
 	ops, pairs := a.ops, a.pairs
 	den := a.den[:len(ops)+len(pairs)]
 	for k := range ops {

@@ -1,0 +1,19 @@
+package curve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// kernelTrace is the armed MSM counter sink (DESIGN.md §11). The disabled
+// state is a nil pointer, so untraced MSMs pay one atomic pointer load —
+// no locks, no allocation.
+var kernelTrace atomic.Pointer[obs.KernelCounters]
+
+// SetKernelTrace arms (k != nil) or disarms (k == nil) MSM kernel tracing
+// and returns the previous sink so callers can restore it. The sink is
+// process-wide: concurrent traced proves would interleave their counters.
+func SetKernelTrace(k *obs.KernelCounters) *obs.KernelCounters {
+	return kernelTrace.Swap(k)
+}

@@ -119,6 +119,16 @@ func (b *Builder) fail(format string, args ...any) {
 	}
 }
 
+// Failf records a build failure from a caller above the gadget layer (e.g.
+// a layer rejecting an infeasible shape). Like every builder failure, only
+// the first error is kept and surfaces through Err; callers should return
+// safe degenerate values rather than panic.
+func (b *Builder) Failf(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
 // val wraps a concrete number as an unplaced witness value.
 func (b *Builder) val(v int64) *Value { return &Value{b: b, v: v} }
 

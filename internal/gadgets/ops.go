@@ -480,6 +480,12 @@ func (b *Builder) RegisterTable(name string, vocab, dim int, data []int64) {
 // slot holds [id, e_0 .. e_{dim-1}] and the tuple must appear in the
 // committed table. This is the dynamic-index embedding lookup (DLRM and
 // language-model token embeddings); the id is a witness value.
+//
+// Failures surface through Err, never as nil elements: an out-of-range id
+// yields dim usable zero values so downstream gadgets don't dereference
+// nil before the build error is checked. Only an unregistered table — where
+// dim is unknown — returns nil, and callers that know their width (Embed)
+// substitute zeros.
 func (b *Builder) Gather(name string, id *Value) []*Value {
 	t, ok := b.gatherTables[name]
 	if !ok {
@@ -489,7 +495,11 @@ func (b *Builder) Gather(name string, id *Value) []*Value {
 	idv := int(id.v)
 	if idv < 0 || idv >= t.vocab {
 		b.fail("Gather id %d out of range [0,%d)", idv, t.vocab)
-		return nil
+		out := make([]*Value, t.dim)
+		for d := range out {
+			out[d] = b.val(0)
+		}
+		return out
 	}
 	row, s := b.slot(gatherKind(name), t.dim+1, 1)
 	base := s * (t.dim + 1)

@@ -95,20 +95,41 @@ func BatchMatMul(b *gadgets.Builder, x, y *T) *T {
 	return tensor.Concat(0, outs...)
 }
 
-// convDims computes output size and pre-padding for a convolution axis.
-func convDims(in, k, stride int, pad Padding) (out, before, after int) {
+// convDims computes output size and pre-padding for a convolution axis. A
+// kernel larger than the (padded) input is a shape error recorded on the
+// builder under the layer's name — callers get zero output dims and must
+// check b.Err() — rather than a non-positive dimension that dies later in
+// an opaque tensor.New/make panic.
+func convDims(b *gadgets.Builder, layer string, in, k, stride int, pad Padding) (out, before, after int) {
 	switch pad {
 	case Valid:
-		return (in-k)/stride + 1, 0, 0
+		out = (in-k)/stride + 1
 	case Same:
 		out = (in + stride - 1) / stride
 		total := (out-1)*stride + k - in
 		if total < 0 {
 			total = 0
 		}
-		return out, total / 2, total - total/2
+		before, after = total/2, total-total/2
+	default:
+		panic("layers: unknown padding " + string(pad))
 	}
-	panic("layers: unknown padding " + string(pad))
+	if out <= 0 || in+before+after < k {
+		b.Failf("layers: %s: kernel size %d exceeds %s-padded input extent %d (stride %d)",
+			layer, k, pad, in+before+after, stride)
+		return 0, 0, 0
+	}
+	return out, before, after
+}
+
+// poolDims validates a pooling window against the input extents, recording
+// a shape error naming the layer (see convDims).
+func poolDims(b *gadgets.Builder, layer string, h, w, k, stride int) (oh, ow int) {
+	if k > h || k > w {
+		b.Failf("layers: %s: window size %d exceeds input %dx%d", layer, k, h, w)
+		return 0, 0
+	}
+	return (h-k)/stride + 1, (w-k)/stride + 1
 }
 
 // Conv2D computes a 2D convolution with constant weights.
@@ -119,8 +140,8 @@ func Conv2D(b *gadgets.Builder, x *T, kernel *IT, bias *IT, stride int, pad Padd
 	if kcin != cin {
 		panic(fmt.Sprintf("layers: Conv2D channel mismatch: x %v, k %v", x.Shape, kernel.Shape))
 	}
-	oh, ph0, ph1 := convDims(h, kh, stride, pad)
-	ow, pw0, pw1 := convDims(w, kw, stride, pad)
+	oh, ph0, ph1 := convDims(b, "Conv2D", h, kh, stride, pad)
+	ow, pw0, pw1 := convDims(b, "Conv2D", w, kw, stride, pad)
 	sf := b.Config().FP.SF()
 	zero := b.Constant(0)
 	padded := x.Pad([]int{ph0, pw0, 0}, []int{ph1, pw1, 0}, zero)
@@ -166,8 +187,8 @@ func Conv2D(b *gadgets.Builder, x *T, kernel *IT, bias *IT, stride int, pad Padd
 func DepthwiseConv2D(b *gadgets.Builder, x *T, kernel *IT, bias *IT, stride int, pad Padding) *T {
 	h, w, c := x.Shape[0], x.Shape[1], x.Shape[2]
 	kh, kw := kernel.Shape[0], kernel.Shape[1]
-	oh, ph0, ph1 := convDims(h, kh, stride, pad)
-	ow, pw0, pw1 := convDims(w, kw, stride, pad)
+	oh, ph0, ph1 := convDims(b, "DepthwiseConv2D", h, kh, stride, pad)
+	ow, pw0, pw1 := convDims(b, "DepthwiseConv2D", w, kw, stride, pad)
 	sf := b.Config().FP.SF()
 	zero := b.Constant(0)
 	padded := x.Pad([]int{ph0, pw0, 0}, []int{ph1, pw1, 0}, zero)
@@ -201,8 +222,7 @@ func DepthwiseConv2D(b *gadgets.Builder, x *T, kernel *IT, bias *IT, stride int,
 // AveragePool2D averages non-overlapping (or strided) windows.
 func AveragePool2D(b *gadgets.Builder, x *T, k, stride int) *T {
 	h, w, c := x.Shape[0], x.Shape[1], x.Shape[2]
-	oh := (h-k)/stride + 1
-	ow := (w-k)/stride + 1
+	oh, ow := poolDims(b, "AveragePool2D", h, w, k, stride)
 	out := tensor.New[*gadgets.Value](oh, ow, c)
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
@@ -223,8 +243,7 @@ func AveragePool2D(b *gadgets.Builder, x *T, k, stride int) *T {
 // MaxPool2D takes window maxima via the max gadget.
 func MaxPool2D(b *gadgets.Builder, x *T, k, stride int) *T {
 	h, w, c := x.Shape[0], x.Shape[1], x.Shape[2]
-	oh := (h-k)/stride + 1
-	ow := (w-k)/stride + 1
+	oh, ow := poolDims(b, "MaxPool2D", h, w, k, stride)
 	out := tensor.New[*gadgets.Value](oh, ow, c)
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
@@ -332,17 +351,32 @@ func Softmax(b *gadgets.Builder, x *T) *T {
 		// The exponential sum can reach last*SF, which may exceed the
 		// variable-division divisor bound of 2^(LookupBits-1); shrink
 		// numerator and denominator by the same power of two k (the
-		// paper's limb trick specialized to a single limb).
+		// paper's limb trick specialized to a single limb). Up to k = SF
+		// the numerator shrink folds into its scale multiplier sf/k; past
+		// that (rows wider than ~HalfRange elements) the multiplier would
+		// truncate to 0 and silently zero the whole row, so the numerators
+		// are instead divided by k/SF — same quotient exps[i]·sf/total,
+		// one extra DivRoundConst per element.
 		k := int64(1)
 		for int64(last)*sf/k > b.Config().FP.HalfRange() {
 			k *= 2
+		}
+		if shrink := k / sf; shrink > b.Config().FP.HalfRange() {
+			b.Failf("layers: Softmax over %d elements needs numerator shrink %d beyond the divisor bound %d — increase ScaleBits or LookupBits",
+				last, shrink, b.Config().FP.HalfRange())
 		}
 		den := total
 		if k > 1 {
 			den = b.DivRoundConst(total, k)
 		}
 		for i := 0; i < last; i++ {
-			out.Set(b.VarDiv(b.MulC(exps[i], sf/k), den), r, i)
+			num := exps[i]
+			if k <= sf {
+				num = b.MulC(exps[i], sf/k)
+			} else {
+				num = b.DivRoundConst(exps[i], k/sf)
+			}
+			out.Set(b.VarDiv(num, den), r, i)
 		}
 	}
 	outShaped := out.Reshape(x.Shape...)
@@ -469,15 +503,18 @@ func Embed(b *gadgets.Builder, name string, table *IT, ids []int) *T {
 	b.RegisterTable(name, vocab, dim, table.Data)
 	out := tensor.New[*gadgets.Value](len(ids), dim)
 	for i, id := range ids {
-		if id < 0 || id >= vocab {
-			panic(fmt.Sprintf("layers: embedding id %d out of range [0,%d)", id, vocab))
-		}
+		// Out-of-range ids are rejected by Gather itself (recorded on the
+		// builder, with zero values returned), so the whole failure path
+		// funnels through b.Err() rather than a panic.
 		row := b.Gather(name, b.Witness(int64(id)))
 		if len(row) != dim {
-			// The builder recorded an error (e.g. the table row does
-			// not fit the column budget); propagate zeros so the
-			// caller sees b.Err() rather than a panic.
-			return out
+			// The builder recorded an error (e.g. the table row does not
+			// fit the column budget); substitute placed zeros so callers
+			// see b.Err() rather than a nil dereference in the next gadget.
+			for d := 0; d < dim; d++ {
+				out.Set(b.Constant(0), i, d)
+			}
+			continue
 		}
 		for d := 0; d < dim; d++ {
 			out.Set(row[d], i, d)

@@ -1,0 +1,200 @@
+package layers
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fixedpoint"
+	"repro/internal/gadgets"
+	"repro/internal/tensor"
+)
+
+// --- Softmax wide rows -------------------------------------------------------
+//
+// With SF = 2^5 and HalfRange = 2^8, a row wider than 8·HalfRange/… elements
+// forces the denominator shrink k past SF; the old code multiplied numerators
+// by sf/k, which truncates to zero and silently zeroed the entire softmax row.
+
+func TestSoftmaxWideRow(t *testing.T) {
+	fp := fixedpoint.Params{ScaleBits: 5, LookupBits: 9} // SF=32, HalfRange=256
+	b := gadgets.NewBuilder(gadgets.DefaultConfig(12, fp))
+
+	// 520 elements: k = smallest power of two with 520·32/k <= 256 is 128,
+	// which exceeds SF=32 — exactly the regime the fix targets. Four elements
+	// share the max; the rest sit far enough down that exp quantizes to 0, so
+	// the representable answer is 1/4 for the maxima.
+	const last = 520
+	vals := make([]int64, last)
+	for i := range vals {
+		vals[i] = fp.Quantize(-6.0)
+	}
+	maxIdx := []int{3, 100, 258, 519}
+	for _, i := range maxIdx {
+		vals[i] = fp.Quantize(0.0)
+	}
+	x := Inputs(b, tensor.FromSlice(vals, 1, last))
+	y := Softmax(b, x)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+
+	var sum float64
+	allZero := true
+	for i := 0; i < last; i++ {
+		f := y.At(0, i).Float()
+		sum += f
+		if f != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("softmax row is all zero (numerator shrink truncated to 0)")
+	}
+	for _, i := range maxIdx {
+		if f := y.At(0, i).Float(); math.Abs(f-0.25) > 0.02 {
+			t.Fatalf("softmax[%d] = %v, want ~0.25", i, f)
+		}
+	}
+	if math.Abs(sum-1) > 0.05 {
+		t.Fatalf("softmax row sums to %v, want ~1", sum)
+	}
+}
+
+// TestSoftmaxNarrowRowUnchanged pins the k <= SF regime against the float
+// reference, so the shrink rewrite can't disturb ordinary rows.
+func TestSoftmaxNarrowRowUnchanged(t *testing.T) {
+	b := builder()
+	in := []float64{1, 2, 3, 0.5}
+	x := inputTensor(b, in, 1, 4)
+	y := Softmax(b, x)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	var den float64
+	for _, v := range in {
+		den += math.Exp(v - 3)
+	}
+	for i, v := range in {
+		want := math.Exp(v-3) / den
+		if got := y.At(0, i).Float(); math.Abs(got-want) > 0.02 {
+			t.Fatalf("softmax[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestSoftmaxUnrepresentableRowFails drives the shrink itself past the
+// divisor bound (k/SF > HalfRange): with SF=4 and HalfRange=16 a 320-wide
+// row needs shrink 32. That cannot be built; it must surface as a builder
+// error naming Softmax, not as a silently wrong circuit.
+func TestSoftmaxUnrepresentableRowFails(t *testing.T) {
+	fp := fixedpoint.Params{ScaleBits: 2, LookupBits: 5}
+	b := gadgets.NewBuilder(gadgets.DefaultConfig(12, fp))
+	x := Inputs(b, tensor.FromSlice(make([]int64, 320), 1, 320))
+	_ = Softmax(b, x)
+	if err := b.Err(); err == nil {
+		t.Fatal("Softmax accepted a row needing an unrepresentable shrink")
+	} else if !strings.Contains(err.Error(), "Softmax") {
+		t.Fatalf("error does not name Softmax: %v", err)
+	}
+}
+
+// --- Embed / Gather failure paths -------------------------------------------
+
+func TestEmbedOutOfRangeID(t *testing.T) {
+	b := builder()
+	table := tensor.FromSlice([]int64{1, 2, 3, 4, 5, 6, 7, 8}, 4, 2)
+	out := Embed(b, "vocab", table, []int{1, 7}) // 7 >= vocab 4
+	if err := b.Err(); err == nil {
+		t.Fatal("Embed accepted an out-of-range id")
+	} else if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Every element must be usable despite the failure: no nil values, and
+	// downstream gadgets must not panic before the caller checks Err.
+	for i := 0; i < 2; i++ {
+		for d := 0; d < 2; d++ {
+			if out.At(i, d) == nil {
+				t.Fatalf("out[%d][%d] is nil", i, d)
+			}
+		}
+	}
+	_ = b.Add(out.At(1, 0), out.At(1, 1))
+	if out.At(1, 0).Int64() != 0 || out.At(1, 1).Int64() != 0 {
+		t.Fatal("failed gather row is not zero")
+	}
+	// The in-range row is still the real table row.
+	if out.At(0, 0).Int64() != 3 || out.At(0, 1).Int64() != 4 {
+		t.Fatalf("row 1 = [%d %d], want [3 4]", out.At(0, 0).Int64(), out.At(0, 1).Int64())
+	}
+}
+
+func TestEmbedTableTooWide(t *testing.T) {
+	// dim+1 = 7 columns needed, only 4 available: RegisterTable fails, Gather
+	// returns nil, and Embed must substitute placed zeros rather than hand
+	// back a tensor of nils.
+	b := gadgets.NewBuilder(gadgets.DefaultConfig(4, fp()))
+	table := tensor.FromSlice(make([]int64, 12), 2, 6)
+	out := Embed(b, "wide", table, []int{0, 1})
+	if err := b.Err(); err == nil {
+		t.Fatal("Embed accepted a table wider than the column budget")
+	} else if !strings.Contains(err.Error(), "columns") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		for d := 0; d < 6; d++ {
+			if out.At(i, d) == nil {
+				t.Fatalf("out[%d][%d] is nil", i, d)
+			}
+		}
+	}
+	_ = b.Add(out.At(0, 0), out.At(1, 5)) // must not panic
+}
+
+// --- Undersized conv / pool inputs ------------------------------------------
+
+func TestConv2DKernelLargerThanInput(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 2, 3, 4}, 2, 2, 1)
+	k := quantTensor(make([]float64, 9), 3, 3, 1, 1)
+	_ = Conv2D(b, x, k, nil, 1, Valid)
+	if err := b.Err(); err == nil {
+		t.Fatal("Conv2D accepted a 3x3 kernel on a 2x2 input")
+	} else if !strings.Contains(err.Error(), "Conv2D") {
+		t.Fatalf("error does not name the layer: %v", err)
+	}
+}
+
+func TestDepthwiseConv2DKernelLargerThanInput(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, []float64{1, 2, 3, 4}, 2, 2, 1)
+	k := quantTensor(make([]float64, 9), 3, 3, 1)
+	_ = DepthwiseConv2D(b, x, k, nil, 1, Valid)
+	if err := b.Err(); err == nil {
+		t.Fatal("DepthwiseConv2D accepted a 3x3 kernel on a 2x2 input")
+	} else if !strings.Contains(err.Error(), "DepthwiseConv2D") {
+		t.Fatalf("error does not name the layer: %v", err)
+	}
+}
+
+func TestMaxPool2DWindowLargerThanInput(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, make([]float64, 9), 3, 3, 1)
+	_ = MaxPool2D(b, x, 5, 1)
+	if err := b.Err(); err == nil {
+		t.Fatal("MaxPool2D accepted a 5x5 window on a 3x3 input")
+	} else if !strings.Contains(err.Error(), "MaxPool2D") {
+		t.Fatalf("error does not name the layer: %v", err)
+	}
+}
+
+func TestAveragePool2DWindowLargerThanInput(t *testing.T) {
+	b := builder()
+	x := inputTensor(b, make([]float64, 9), 3, 3, 1)
+	_ = AveragePool2D(b, x, 5, 1)
+	if err := b.Err(); err == nil {
+		t.Fatal("AveragePool2D accepted a 5x5 window on a 3x3 input")
+	} else if !strings.Contains(err.Error(), "AveragePool2D") {
+		t.Fatalf("error does not name the layer: %v", err)
+	}
+}

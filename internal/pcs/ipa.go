@@ -67,6 +67,7 @@ func (s *IPAScheme) Commit(p []ff.Element) curve.Affine {
 // Open implements Scheme. The recursion folds vectors a (coefficients) and
 // b (powers of z) along with the basis; each round emits cross terms L, R.
 func (s *IPAScheme) Open(tr *transcript.Transcript, p []ff.Element, z ff.Element) *Opening {
+	defer recordOpen()()
 	a := make([]ff.Element, s.n)
 	copy(a, p)
 	b := make([]ff.Element, s.n)

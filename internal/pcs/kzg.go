@@ -130,6 +130,7 @@ func (k *KZGScheme) Commit(p []ff.Element) curve.Affine {
 
 // Open implements Scheme: pi = Commit((p - p(z)) / (X - z)).
 func (k *KZGScheme) Open(tr *transcript.Transcript, p []ff.Element, z ff.Element) *Opening {
+	defer recordOpen()()
 	y := poly.Eval(p, z)
 	shifted := append([]ff.Element(nil), p...)
 	if len(shifted) == 0 {

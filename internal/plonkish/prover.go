@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/curve"
 	"repro/internal/ff"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/pcs"
 	"repro/internal/poly"
@@ -65,6 +66,31 @@ func (p *Proof) Size() int {
 // fixed order, so with a deterministic randomness source the proof is
 // byte-identical at every parallelism level (see TestProverDeterministic).
 func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
+	return ProveTraced(pk, instance, w, nil)
+}
+
+// ProveTraced is Prove with per-stage observability (DESIGN.md §11): when
+// trace is non-nil it records wall time per pipeline stage and arms the
+// kernel counter sinks in curve, poly, and pcs for the duration of the
+// call. Tracing is proof-transparent — it never touches the transcript or
+// the witness, so the proof bytes are identical with tracing on or off —
+// and a nil trace costs only pointer checks. The kernel sinks are
+// process-wide, so at most one traced Prove should run at a time (untraced
+// concurrent proves would merely leak their kernel counts into the trace).
+func ProveTraced(pk *ProvingKey, instance [][]ff.Element, w Witness, trace *obs.Trace) (*Proof, error) {
+	if trace != nil {
+		prevCurve := curve.SetKernelTrace(trace.KernelSink())
+		prevPoly := poly.SetKernelTrace(trace.KernelSink())
+		prevPCS := pcs.SetKernelTrace(trace.KernelSink())
+		defer func() {
+			curve.SetKernelTrace(prevCurve)
+			poly.SetKernelTrace(prevPoly)
+			pcs.SetKernelTrace(prevPCS)
+		}()
+	}
+	defer trace.Finish()
+	trace.Stage(obs.StageCommit)
+
 	cs := pk.CS
 	n, u := pk.N, pk.U
 	if len(instance) != cs.NumInstance {
@@ -164,6 +190,7 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 		}
 	}
 
+	trace.Stage(obs.StageLookup)
 	var arg [3]ff.Element
 	arg[Theta] = tr.Challenge("theta")
 
@@ -294,6 +321,7 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 	// Permutation grand products: the num/den row loops of every chunk run
 	// in parallel; the carry-linked z prefix walks stay serial in chunk
 	// order (they are O(u) multiplications).
+	trace.Stage(obs.StagePerm)
 	permActive := len(cs.PermCols()) > 0 && len(cs.Copies) > 0
 	if permActive {
 		permCols := cs.PermCols()
@@ -360,6 +388,7 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 		}
 	}
 
+	trace.Stage(obs.StageQuotient)
 	y := tr.Challenge("y")
 
 	// Quotient: evaluate the y-combined constraint polynomial on the
@@ -454,6 +483,7 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 		}
 	}
 
+	trace.Stage(obs.StageOpen)
 	x := tr.Challenge("x")
 
 	// Evaluations at x (and rotations). Rotation points come from the

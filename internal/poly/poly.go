@@ -235,6 +235,7 @@ func (d *Domain) FFT(v []ff.Element) {
 	if len(v) != d.N {
 		panic("poly: FFT length mismatch")
 	}
+	kernelTrace.Load().RecordFFT(d.N)
 	ntt(v, d.elements())
 }
 
@@ -243,6 +244,7 @@ func (d *Domain) IFFT(v []ff.Element) {
 	if len(v) != d.N {
 		panic("poly: IFFT length mismatch")
 	}
+	kernelTrace.Load().RecordFFT(d.N)
 	ntt(v, d.invTwiddles())
 	scaleUniform(v, d.NInv)
 }
@@ -253,6 +255,7 @@ func (d *Domain) CosetFFT(v []ff.Element) {
 	if len(v) != d.N {
 		panic("poly: CosetFFT length mismatch")
 	}
+	kernelTrace.Load().RecordFFT(d.N)
 	mulByTable(v, d.cosetScaleIn())
 	ntt(v, d.elements())
 }
@@ -263,6 +266,7 @@ func (d *Domain) CosetIFFT(v []ff.Element) {
 	if len(v) != d.N {
 		panic("poly: CosetIFFT length mismatch")
 	}
+	kernelTrace.Load().RecordFFT(d.N)
 	ntt(v, d.invTwiddles())
 	mulByTable(v, d.cosetScaleOut())
 }

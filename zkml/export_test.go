@@ -1,0 +1,55 @@
+package zkml
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/plonkish"
+)
+
+// makeWideProof builds a structurally valid proof with nCols one-element
+// instance columns (ExportProof touches nothing else on the System).
+func makeWideProof(nCols int) *Proof {
+	inst := make([][]ff.Element, nCols)
+	for i := range inst {
+		inst[i] = []ff.Element{ff.NewElement(uint64(i + 1))}
+	}
+	return &Proof{Proof: new(plonkish.Proof), Instance: inst}
+}
+
+// TestExportProofTooManyColumns is the regression test for the header's
+// one-byte column count: 256 columns used to be written as byte 0 and
+// silently dropped every public value on import. The export must refuse.
+func TestExportProofTooManyColumns(t *testing.T) {
+	var s System
+	_, err := s.ExportProof(makeWideProof(256))
+	if err == nil {
+		t.Fatal("ExportProof accepted 256 instance columns")
+	}
+	if !strings.Contains(err.Error(), "instance columns") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// 255 columns is the format's ceiling and must still round-trip intact.
+func TestExportProofMaxColumnsRoundTrips(t *testing.T) {
+	var s System
+	p := makeWideProof(255)
+	data, err := s.ExportProof(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.ImportProof(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Instance) != 255 {
+		t.Fatalf("round trip kept %d columns, want 255", len(back.Instance))
+	}
+	for i, col := range back.Instance {
+		if len(col) != 1 || !col[0].Equal(&p.Instance[i][0]) {
+			t.Fatalf("column %d corrupted in round trip", i)
+		}
+	}
+}

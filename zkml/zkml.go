@@ -21,6 +21,7 @@ import (
 	"repro/internal/ff"
 	"repro/internal/fixedpoint"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/pcs"
 	"repro/internal/plonkish"
@@ -174,6 +175,23 @@ func (s *System) Prove(in *Input) (*Proof, error) {
 	return s.Plan.Prove(s.Keys, in)
 }
 
+// ProveTraced is Prove with stage-level observability (DESIGN.md §11): it
+// additionally returns an obs.Report with per-stage wall times and kernel
+// counters (MSM/FFT counts by size, batch-inversion flushes, opening
+// times). Tracing is proof-transparent — the proof bytes are identical to
+// Prove's. The kernel sinks are process-wide, so run at most one traced
+// prove at a time.
+func (s *System) ProveTraced(in *Input) (*Proof, *obs.Report, error) {
+	return s.Plan.ProveTraced(s.Keys, in)
+}
+
+// CompareEstimate lines a traced run's measured stage times up against the
+// compiled plan's cost-model predictions (paper §7.4), one row per prover
+// stage plus a total.
+func (s *System) CompareEstimate(r *obs.Report) []obs.StageComparison {
+	return s.Plan.CompareEstimate(r)
+}
+
 // Verify checks a proof against the model's verification key. The verifier
 // learns the model architecture and the outputs but neither the weights nor
 // the input.
@@ -194,10 +212,16 @@ func (s *System) Outputs(p *Proof) []float64 {
 }
 
 // ExportProof serializes a proof (and its public values) for transport.
+// The instance-column count is carried in one byte; proofs with more than
+// 255 instance columns are rejected here rather than silently truncating
+// the count and corrupting the round trip.
 func (s *System) ExportProof(p *Proof) ([]byte, error) {
 	body, err := p.Proof.MarshalBinary()
 	if err != nil {
 		return nil, err
+	}
+	if len(p.Instance) > 255 {
+		return nil, fmt.Errorf("zkml: proof has %d instance columns, export format supports at most 255", len(p.Instance))
 	}
 	var out []byte
 	out = append(out, byte(len(p.Instance)))
