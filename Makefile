@@ -9,9 +9,11 @@
 #   make fuzz-smoke  each fuzz target briefly, from the committed corpora
 #   make bench       prover benchmarks (see EXPERIMENTS.md)
 #   make bench-smoke kernel benchmarks once each, so bench code can't rot
-#   make trace-smoke traced prove end to end, then validate the trace report
-#   make bench-json  kernel + prover benchmark snapshot (with cost-model
-#                    relative error) -> BENCH_5.json
+#   make trace-smoke fit the cost model from traced proves, prove once more
+#                    with tracing, and gate the trace report on cost-model
+#                    accuracy (trace-check -max-rel-err)
+#   make bench-json  kernel + prover benchmark snapshot (with fitted
+#                    cost-model relative error) -> BENCH_6.json
 
 GO ?= go
 
@@ -59,15 +61,19 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFFT|BenchmarkMSM' -benchtime=1x ./internal/poly/ ./internal/curve/
 
-# Prove once with tracing on and check that the report is well-formed: the
-# schema parses, every pipeline stage is present, and the cost-model
-# comparison is populated (DESIGN.md §11).
+# Fit the cost model from traced proves (calibration v2), prove once more
+# with tracing, and check the report: the schema parses, every pipeline
+# stage is present, the cost-model comparison is populated, and — the
+# estimator-accuracy gate — the fitted model's total |rel_err| stays within
+# the threshold (DESIGN.md §11/§12). The raw unfitted model sat at -0.83.
+TRACE_MAX_REL_ERR ?= 0.5
 trace-smoke:
-	@tmp=$$(mktemp -t zkml-trace.XXXXXX.json); \
-	$(GO) run ./cmd/zkml prove -model mnist -scale-bits 5 -lookup-bits 9 -max-cols 16 -trace $$tmp && \
-	$(GO) run ./cmd/zkml trace-check -in $$tmp; \
-	st=$$?; rm -f $$tmp; exit $$st
+	@tmp=$$(mktemp -t zkml-trace.XXXXXX.json); calib=$$(mktemp -t zkml-calib.XXXXXX.json); \
+	$(GO) run ./cmd/zkml calibrate -fit -min-k 8 -max-k 12 -out $$calib && \
+	ZKML_CALIBRATION=$$calib $(GO) run ./cmd/zkml prove -model mnist -scale-bits 5 -lookup-bits 9 -max-cols 16 -trace $$tmp && \
+	$(GO) run ./cmd/zkml trace-check -in $$tmp -max-rel-err $(TRACE_MAX_REL_ERR); \
+	st=$$?; rm -f $$tmp $$calib; exit $$st
 
 # Committed perf-trajectory snapshot (see EXPERIMENTS.md and cmd/bench-snapshot).
 bench-json:
-	$(GO) run ./cmd/bench-snapshot -out BENCH_5.json
+	$(GO) run ./cmd/bench-snapshot -out BENCH_6.json

@@ -35,14 +35,19 @@ type stageError struct {
 
 // snapshot is the committed JSON schema: nanoseconds per op keyed by kernel
 // and log2 size, plus per-stage cost-model error keyed by model/backend.
+// v3 adds the calibration metadata: whether the cost model was trace-fitted
+// (calibration v2) before the comparison, and the fitted constants.
 type snapshot struct {
-	Schema    string                           `json:"schema"`
-	FFTNs     map[string]int64                 `json:"fft_ns"`
-	MSMNs     map[string]int64                 `json:"msm_ns"`
-	ProveNs   map[string]int64                 `json:"prove_ns"`
-	CostModel map[string]map[string]stageError `json:"cost_model"`
-	Workers   int                              `json:"workers"`
-	Hostname  string                           `json:"hostname,omitempty"`
+	Schema             string                           `json:"schema"`
+	FFTNs              map[string]int64                 `json:"fft_ns"`
+	MSMNs              map[string]int64                 `json:"msm_ns"`
+	ProveNs            map[string]int64                 `json:"prove_ns"`
+	CostModel          map[string]map[string]stageError `json:"cost_model"`
+	CalibrationVersion int                              `json:"calibration_version"`
+	FitSweepProves     int                              `json:"fit_sweep_proves"`
+	Fits               map[string]costmodel.StageFit    `json:"fits,omitempty"`
+	Workers            int                              `json:"workers"`
+	Hostname           string                           `json:"hostname,omitempty"`
 }
 
 func benchNs(f func(b *testing.B)) int64 {
@@ -134,7 +139,7 @@ func main() {
 	flag.Parse()
 
 	snap := snapshot{
-		Schema:    "zkml-bench-snapshot/v2",
+		Schema:    "zkml-bench-snapshot/v3",
 		FFTNs:     map[string]int64{},
 		MSMNs:     map[string]int64{},
 		ProveNs:   map[string]int64{},
@@ -153,7 +158,20 @@ func main() {
 		snap.MSMNs[fmt.Sprintf("2^%d", k)] = msmNs(k)
 		fmt.Fprintf(os.Stderr, "msm 2^%d done\n", k)
 	}
-	calib := costmodel.Calibrate(8, 10)
+	// Calibrate the kernel tables, then run the trace-driven fit (ROADMAP
+	// item 3): the recorded cost_model section measures the *fitted*
+	// estimator, the one Algorithm 1 actually ranks layouts with.
+	calib := costmodel.Calibrate(8, 12)
+	fitN, err := core.FitCalibration(calib, core.FitConfig{
+		Log: func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-snapshot: calibration fit: %v\n", err)
+		os.Exit(1)
+	}
+	snap.CalibrationVersion = calib.Version
+	snap.FitSweepProves = fitN
+	snap.Fits = calib.Fits
 	for _, backend := range []pcs.Backend{pcs.KZG, pcs.IPA} {
 		key := fmt.Sprintf("mnist/%s", backend)
 		ns, cmp, err := proveModel("mnist", backend, calib, *reps)

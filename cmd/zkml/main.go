@@ -10,7 +10,9 @@
 //	zkml prove -model mnist -trace t.json     same, with a per-stage trace report
 //	zkml verify -model mnist -in proof.bin    verify a serialized proof
 //	zkml trace-check -in t.json               validate a trace report (CI smoke check)
+//	zkml trace-check -in t.json -max-rel-err 0.5   ... and gate on cost-model accuracy
 //	zkml calibrate [-out calib.json]          benchmark this machine's cost profile
+//	zkml calibrate -fit                       ... and fit per-stage constants from traced proves
 package main
 
 import (
@@ -18,10 +20,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/obs"
 	"repro/zkml"
@@ -267,12 +272,44 @@ func writeTrace(path, model, backend string, sys *zkml.System, rep *obs.Report) 
 	return nil
 }
 
-// cmdTraceCheck validates a trace report file: it must parse, carry the
-// expected schema, and contain every prover pipeline stage. This is the CI
-// smoke check behind `make trace-smoke`.
+// checkTrace validates raw trace-report bytes: they must parse, carry the
+// expected schema, and contain every prover pipeline stage. When maxRelErr
+// is positive the cost model's total-row relative error is additionally
+// gated: |rel_err| must stay at or below the threshold, turning the smoke
+// check into an estimator-accuracy regression gate.
+func checkTrace(data []byte, maxRelErr float64) (*traceFile, error) {
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, fmt.Errorf("trace report does not parse: %w", err)
+	}
+	if tf.Schema != traceFileSchema {
+		return nil, fmt.Errorf("trace report schema %q, want %q", tf.Schema, traceFileSchema)
+	}
+	if err := tf.Report.Validate(); err != nil {
+		return nil, fmt.Errorf("trace report invalid: %w", err)
+	}
+	if len(tf.CostModel) == 0 {
+		return nil, fmt.Errorf("trace report has no cost-model comparison")
+	}
+	if maxRelErr > 0 {
+		total, ok := obs.TotalRow(tf.CostModel)
+		if !ok {
+			return nil, fmt.Errorf("trace report cost-model comparison has no total row")
+		}
+		if math.Abs(total.RelErr) > maxRelErr {
+			return nil, fmt.Errorf("cost-model total rel_err %+.3f exceeds -max-rel-err %.3f (predicted %.3fs, measured %.3fs)",
+				total.RelErr, maxRelErr, total.PredictedSeconds, total.MeasuredSeconds)
+		}
+	}
+	return &tf, nil
+}
+
+// cmdTraceCheck is the CI check behind `make trace-smoke`: schema
+// validation plus, with -max-rel-err, the cost-model accuracy gate.
 func cmdTraceCheck(args []string) error {
 	fs := flag.NewFlagSet("trace-check", flag.ExitOnError)
 	in := fs.String("in", "", "trace report file (from `zkml prove -trace`)")
+	maxRelErr := fs.Float64("max-rel-err", 0, "fail if the cost model's total |rel_err| exceeds this (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -283,21 +320,16 @@ func cmdTraceCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	var tf traceFile
-	if err := json.Unmarshal(data, &tf); err != nil {
-		return fmt.Errorf("trace report does not parse: %w", err)
-	}
-	if tf.Schema != traceFileSchema {
-		return fmt.Errorf("trace report schema %q, want %q", tf.Schema, traceFileSchema)
-	}
-	if err := tf.Report.Validate(); err != nil {
-		return fmt.Errorf("trace report invalid: %w", err)
-	}
-	if len(tf.CostModel) == 0 {
-		return fmt.Errorf("trace report has no cost-model comparison")
+	tf, err := checkTrace(data, *maxRelErr)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("trace report OK: %s/%s, %.3fs total, %d stages, %d cost-model rows\n",
 		tf.Model, tf.Backend, tf.Report.TotalSeconds, len(tf.Report.Stages), len(tf.CostModel))
+	if *maxRelErr > 0 {
+		total, _ := obs.TotalRow(tf.CostModel)
+		fmt.Printf("cost-model gate OK: total rel_err %+.3f within ±%.3f\n", total.RelErr, *maxRelErr)
+	}
 	return nil
 }
 
@@ -354,18 +386,40 @@ func cmdCalibrate(args []string) error {
 	out := fs.String("out", "zkml-calibration.json", "output path")
 	minK := fs.Int("min-k", 10, "smallest 2^k size to measure")
 	maxK := fs.Int("max-k", 14, "largest 2^k size to measure")
+	fit := fs.Bool("fit", false, "prove a traced circuit sweep and fit per-stage constants (calibration v2)")
+	fitModel := fs.String("fit-model", "mnist", "bundled model the fitting sweep proves")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	fmt.Printf("calibrating FFT/MSM/lookup/field-op costs for 2^%d..2^%d...\n", *minK, *maxK)
 	c := costmodel.Calibrate(*minK, *maxK)
-	if err := c.Save(*out); err != nil {
-		return err
-	}
 	fmt.Printf("field op: %.1f ns\n", c.FieldOp*1e9)
 	for k := *minK; k <= *maxK; k++ {
 		fmt.Printf("  2^%d: fft %.3fms msm %.3fms lookup %.3fms\n",
 			k, c.FFT[k]*1000, c.MSM[k]*1000, c.Lookup[k]*1000)
+	}
+	if *fit {
+		fmt.Printf("fitting per-stage constants from a traced %s sweep (this proves real circuits)...\n", *fitModel)
+		cfg := core.DefaultFitConfig()
+		cfg.Model = *fitModel
+		cfg.Log = func(format string, a ...any) { fmt.Printf("  "+format+"\n", a...) }
+		n, err := core.FitCalibration(c, cfg)
+		if err != nil {
+			return fmt.Errorf("calibration fit: %w", err)
+		}
+		fmt.Printf("fitted %d stage corrections from %d traced proves:\n", len(c.Fits), n)
+		keys := make([]string, 0, len(c.Fits))
+		for key := range c.Fits {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			f := c.Fits[key]
+			fmt.Printf("  %-16s gain %6.2fx  per-row %8.2f ns\n", key, f.Gain, f.PerRow*1e9)
+		}
+	}
+	if err := c.Save(*out); err != nil {
+		return err
 	}
 	fmt.Println("wrote", *out, "- set ZKML_CALIBRATION to reuse it")
 	return nil

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// traceJSON builds a minimal well-formed trace payload whose cost-model
+// total row carries the given relative error.
+func traceJSON(t *testing.T, relErr float64) []byte {
+	t.Helper()
+	rep := &obs.Report{TotalSeconds: 1}
+	for _, name := range obs.StageNames() {
+		rep.Stages = append(rep.Stages, obs.StageTiming{Stage: name, Seconds: 0.2})
+	}
+	cmp := []obs.StageComparison{
+		{Stage: "commit", PredictedSeconds: 0.2, MeasuredSeconds: 0.2},
+		{Stage: "total", PredictedSeconds: 1 + relErr, MeasuredSeconds: 1, RelErr: relErr},
+	}
+	data, err := json.Marshal(traceFile{Schema: traceFileSchema, Model: "m", Backend: "kzg", Report: rep, CostModel: cmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCheckTraceRelErrGate(t *testing.T) {
+	// Pass: within threshold (both signs), and disabled gate ignores error.
+	for _, relErr := range []float64{0.2, -0.2, 0} {
+		if _, err := checkTrace(traceJSON(t, relErr), 0.3); err != nil {
+			t.Fatalf("rel_err %v rejected at threshold 0.3: %v", relErr, err)
+		}
+	}
+	if _, err := checkTrace(traceJSON(t, -0.9), 0); err != nil {
+		t.Fatalf("disabled gate rejected report: %v", err)
+	}
+	// Fail: beyond threshold, both signs.
+	for _, relErr := range []float64{0.5, -0.5} {
+		_, err := checkTrace(traceJSON(t, relErr), 0.3)
+		if err == nil {
+			t.Fatalf("rel_err %v passed threshold 0.3", relErr)
+		}
+		if !strings.Contains(err.Error(), "max-rel-err") {
+			t.Fatalf("gate failure does not name the flag: %v", err)
+		}
+	}
+}
+
+func TestCheckTraceSchema(t *testing.T) {
+	if _, err := checkTrace([]byte("{nope"), 0); err == nil {
+		t.Fatal("unparseable report accepted")
+	}
+	if _, err := checkTrace([]byte(`{"schema":"other/v9"}`), 0); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	// Valid schema but no total row: the gate must fail closed, not pass
+	// vacuously.
+	rep := &obs.Report{TotalSeconds: 1}
+	for _, name := range obs.StageNames() {
+		rep.Stages = append(rep.Stages, obs.StageTiming{Stage: name, Seconds: 0.2})
+	}
+	data, err := json.Marshal(traceFile{Schema: traceFileSchema, Report: rep,
+		CostModel: []obs.StageComparison{{Stage: "commit"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkTrace(data, 0.3); err == nil {
+		t.Fatal("missing total row passed the rel-err gate")
+	}
+	if _, err := checkTrace(data, 0); err != nil {
+		t.Fatalf("schema-only check rejected total-less comparison: %v", err)
+	}
+}

@@ -3,6 +3,8 @@ package costmodel
 import (
 	"testing"
 
+	"repro/internal/curve"
+	"repro/internal/ff"
 	"repro/internal/pcs"
 )
 
@@ -100,9 +102,53 @@ func TestProofSizeIPABiggerThanKZG(t *testing.T) {
 	}
 }
 
+// TestEmptyTableInterp pins the guard against hand-built partial
+// calibrations: an empty (but non-nil) table must never price an operation
+// family at zero — exactly the partial-file bug LoadOrCalibrate rejects —
+// but fall back to a positive field-op-derived floor instead.
 func TestEmptyTableInterp(t *testing.T) {
 	empty := &Calibration{FFT: map[int]float64{}, MSM: map[int]float64{}, Lookup: map[int]float64{}}
-	if empty.TimeFFT(10) != 0 {
-		t.Fatal("empty table should estimate zero")
+	if v := empty.TimeFFT(10); v <= 0 {
+		t.Fatalf("empty FFT table priced at %v, want positive floor", v)
+	}
+	if v := empty.TimeMSM(10); v <= 0 {
+		t.Fatalf("empty MSM table priced at %v, want positive floor", v)
+	}
+	if v := empty.TimeLookup(10); v <= 0 {
+		t.Fatalf("empty Lookup table priced at %v, want positive floor", v)
+	}
+	// With a calibrated FieldOp the floors scale with it; without one they
+	// use a conservative default — either way never zero.
+	withOp := &Calibration{FFT: map[int]float64{}, MSM: map[int]float64{}, Lookup: map[int]float64{}, FieldOp: 1e-8}
+	if withOp.TimeMSM(10) <= empty.TimeMSM(10) {
+		t.Fatal("floor does not scale with calibrated FieldOp")
+	}
+	// A measured table is still used verbatim.
+	meas := &Calibration{FFT: map[int]float64{10: 1e-3}}
+	if meas.TimeFFT(10) != 1e-3 {
+		t.Fatal("measured value not returned verbatim")
+	}
+}
+
+// TestCalibratedMSMTracksFullWidth is the regression test for the MSM
+// calibration bias: the old benchmark used scalars 3i+7 (≤ 64 bits), which
+// left every high signed-digit Pippenger window empty and measured a
+// fraction of a real commitment MSM. The calibrated cost must now be
+// within a factor bound of an independently timed full-width-scalar MSM.
+func TestCalibratedMSMTracksFullWidth(t *testing.T) {
+	const k = 9
+	pts := msmBasis(1 << k)
+	scs := make([]ff.Element, 1<<k)
+	for i := range scs {
+		scs[i] = ff.Random()
+	}
+	ref := medianSeconds(calibrationReps, func() { curve.MSM(pts, scs) })
+	got := calib.MSM[k]
+	if got <= 0 || ref <= 0 {
+		t.Fatalf("degenerate timings: calibrated %v, reference %v", got, ref)
+	}
+	if ratio := got / ref; ratio < 0.3 || ratio > 3 {
+		t.Fatalf("calibrated MSM cost %.3gs is %.2fx the full-width reference %.3gs (want within 0.3x..3x)",
+			got, ratio, ref)
 	}
 }

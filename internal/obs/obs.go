@@ -242,6 +242,21 @@ func (t *Trace) Report() *Report {
 	return r
 }
 
+// StageSeconds returns the measured wall time for the named stage, or 0
+// when the report carries no such stage. This is the measurement side of
+// the cost-model fitting loop (costmodel.FitFromSamples).
+func (r *Report) StageSeconds(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	for _, st := range r.Stages {
+		if st.Stage == name {
+			return st.Seconds
+		}
+	}
+	return 0
+}
+
 // Validate checks the structural invariants report consumers rely on:
 // every pipeline stage present exactly once, in order, with non-negative
 // times, and a positive total. The CI trace smoke-run calls this on the
@@ -318,6 +333,18 @@ func (r *Report) CompareEstimate(pred StagePrediction) []StageComparison {
 	}
 	out = append(out, StageComparison{Stage: "total", PredictedSeconds: predTotal, MeasuredSeconds: measTotal, RelErr: relErr(predTotal, measTotal)})
 	return out
+}
+
+// TotalRow returns the "total" row of a CompareEstimate result, reporting
+// whether one was present. CI gates (zkml trace-check -max-rel-err) key off
+// this row rather than the noisier per-stage ones.
+func TotalRow(cmp []StageComparison) (StageComparison, bool) {
+	for _, c := range cmp {
+		if c.Stage == "total" {
+			return c, true
+		}
+	}
+	return StageComparison{}, false
 }
 
 func relErr(pred, meas float64) float64 {
