@@ -12,6 +12,9 @@
 #   make trace-smoke fit the cost model from traced proves, prove once more
 #                    with tracing, and gate the trace report on cost-model
 #                    accuracy (trace-check -max-rel-err)
+#   make daemon-smoke bring up the zkmld proving daemon, prove + verify over
+#                    HTTP, and assert the warm path does zero keygen/SRS
+#                    work while /stats surfaces the request trace
 #   make bench-json  kernel + prover benchmark snapshot (with fitted
 #                    cost-model relative error) -> BENCH_6.json
 
@@ -26,13 +29,14 @@ RACE_PKGS = ./internal/parallel/ ./internal/poly/ ./internal/curve/ ./internal/p
 FUZZ_TARGETS = \
 	./internal/plonkish/:FuzzProofUnmarshal \
 	./internal/plonkish/:FuzzVerify \
+	./internal/plonkish/:FuzzKeyMaterialUnmarshal \
 	./internal/model/:FuzzModelLoad \
 	./internal/curve/:FuzzPointSetBytes
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz-smoke bench bench-smoke trace-smoke bench-json
+.PHONY: ci vet build test race fuzz-smoke bench bench-smoke trace-smoke daemon-smoke bench-json
 
-ci: vet build test race fuzz-smoke bench-smoke trace-smoke
+ci: vet build test race fuzz-smoke bench-smoke trace-smoke daemon-smoke
 
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
@@ -73,6 +77,13 @@ trace-smoke:
 	ZKML_CALIBRATION=$$calib $(GO) run ./cmd/zkml prove -model mnist -scale-bits 5 -lookup-bits 9 -max-cols 16 -trace $$tmp && \
 	$(GO) run ./cmd/zkml trace-check -in $$tmp -max-rel-err $(TRACE_MAX_REL_ERR); \
 	st=$$?; rm -f $$tmp $$calib; exit $$st
+
+# End-to-end daemon smoke check: start zkmld, prove and verify over HTTP,
+# assert a warm prove does zero keygen/SRS-extension work (setup-work
+# counters), a restart over the populated key store skips keygen entirely,
+# and /stats reports the per-request trace.
+daemon-smoke:
+	$(GO) test -run 'TestDaemon' -count=1 -v ./cmd/zkmld/
 
 # Committed perf-trajectory snapshot (see EXPERIMENTS.md and cmd/bench-snapshot).
 bench-json:

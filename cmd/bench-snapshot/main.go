@@ -19,6 +19,7 @@ import (
 	"repro/internal/curve"
 	"repro/internal/ff"
 	"repro/internal/fixedpoint"
+	"repro/internal/fsio"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/pcs"
@@ -198,7 +199,7 @@ func main() {
 		os.Stdout.Write(b)
 		return
 	}
-	if err := os.WriteFile(*out, b, 0o644); err != nil {
+	if err := fsio.WriteFileAtomic(*out, b, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "bench-snapshot: %v\n", err)
 		os.Exit(1)
 	}

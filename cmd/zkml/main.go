@@ -6,9 +6,12 @@
 //	zkml models                               list bundled models
 //	zkml export -model mnist -out m.json      write a model spec to JSON
 //	zkml optimize -model mnist [-backend ipa] show the optimizer's plan
+//	zkml keygen -model mnist -out keys/       compile once and persist keys + SRS
 //	zkml prove -model mnist [-seed 7]         compile, prove, verify one inference
+//	zkml prove -model mnist -keys keys/       same, loading (or filling) the key store
 //	zkml prove -model mnist -trace t.json     same, with a per-stage trace report
-//	zkml verify -model mnist -in proof.bin    verify a serialized proof
+//	zkml verify -model mnist -in proof.bin    verify a serialized proof (recompiles)
+//	zkml verify -keys keys/ -in proof.bin     verify against the stored VK — no keygen
 //	zkml trace-check -in t.json               validate a trace report (CI smoke check)
 //	zkml trace-check -in t.json -max-rel-err 0.5   ... and gate on cost-model accuracy
 //	zkml calibrate [-out calib.json]          benchmark this machine's cost profile
@@ -28,6 +31,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/fsio"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/zkml"
 )
@@ -46,6 +51,8 @@ func main() {
 		err = cmdExport(args)
 	case "optimize":
 		err = cmdOptimize(args)
+	case "keygen":
+		err = cmdKeygen(args)
 	case "prove":
 		err = cmdProve(args)
 	case "verify":
@@ -65,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zkml <models|export|optimize|prove|verify|trace-check|calibrate> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: zkml <models|export|optimize|keygen|prove|verify|trace-check|calibrate> [flags]`)
 }
 
 func commonFlags(fs *flag.FlagSet) (modelName *string, backend *string, scaleBits, lookupBits, maxCols *int, seed *int64) {
@@ -168,11 +175,13 @@ func cmdOptimize(args []string) error {
 	return nil
 }
 
-func cmdProve(args []string) error {
-	fs := flag.NewFlagSet("prove", flag.ExitOnError)
-	name, backend, sb, lb, mc, seed := commonFlags(fs)
-	out := fs.String("out", "", "write the serialized proof to this file")
-	tracePath := fs.String("trace", "", "write a per-stage trace report (JSON) to this file")
+// cmdKeygen compiles a model once and persists the full artifact — plan,
+// proving-key material, verifying key, and SRS — so later proves and
+// verifies load it instead of re-running the optimizer and keygen.
+func cmdKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	name, backend, sb, lb, mc, _ := commonFlags(fs)
+	out := fs.String("out", "zkml-keys", "key store directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,6 +199,68 @@ func cmdProve(args []string) error {
 		return err
 	}
 	fmt.Printf("compiled in %v: %s\n", time.Since(start).Round(time.Millisecond), sys.Describe())
+	path, err := sys.Save(*out)
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes); reuse with: zkml prove -model %s -backend %s -scale-bits %d -lookup-bits %d -max-cols %d -keys %s\n",
+		path, st.Size(), *name, *backend, *sb, *lb, *mc, *out)
+	return nil
+}
+
+// loadOrCompile returns a proving system for (model, options). With a key
+// store directory it loads the persisted artifact — no optimizer sweep, no
+// keygen — and on a miss compiles once and fills the store for next time.
+func loadOrCompile(keysDir string, spec model.Spec, o zkml.Options) (*zkml.System, error) {
+	g, sample := spec.Build(), spec.Input(1)
+	if keysDir != "" {
+		sys, err := zkml.LoadSystem(keysDir, g, sample, o)
+		if err == nil {
+			return sys, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	sys, err := zkml.Compile(g, sample, o)
+	if err != nil {
+		return nil, err
+	}
+	if keysDir != "" {
+		if _, err := sys.Save(keysDir); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+func cmdProve(args []string) error {
+	fs := flag.NewFlagSet("prove", flag.ExitOnError)
+	name, backend, sb, lb, mc, seed := commonFlags(fs)
+	out := fs.String("out", "", "write the serialized proof to this file")
+	tracePath := fs.String("trace", "", "write a per-stage trace report (JSON) to this file")
+	keysDir := fs.String("keys", "", "key store directory (from `zkml keygen`); filled on first use")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := zkml.Model(*name)
+	if err != nil {
+		return err
+	}
+	o, err := optionsFrom(*backend, *sb, *lb, *mc)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	sys, err := loadOrCompile(*keysDir, spec, o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ready in %v: %s\n", time.Since(start).Round(time.Millisecond), sys.Describe())
 
 	start = time.Now()
 	var proof *zkml.Proof
@@ -220,7 +291,7 @@ func cmdProve(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
+		if err := fsio.WriteFileAtomic(*out, data, 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s (%d bytes); check with: zkml verify -model %s -backend %s -scale-bits %d -lookup-bits %d -max-cols %d -in %s\n",
@@ -265,7 +336,7 @@ func writeTrace(path, model, backend string, sys *zkml.System, rep *obs.Report) 
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := fsio.WriteFileAtomic(path, data, 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s; check with: zkml trace-check -in %s\n", path, path)
@@ -333,10 +404,28 @@ func cmdTraceCheck(args []string) error {
 	return nil
 }
 
+// verifierSystem returns a system able to verify proofs for (model,
+// options). With a key store it reconstructs the verifying key straight
+// from the persisted commitments — no optimizer sweep, no keygen MSMs, no
+// SRS extension, and no proving key at all. Without one it falls back to a
+// full deterministic recompile (weights and layout are deterministic per
+// model, so the VK comes out identical — just slowly).
+func verifierSystem(keysDir string, spec model.Spec, o zkml.Options) (*zkml.System, error) {
+	if keysDir != "" {
+		sys, err := zkml.LoadVerifier(keysDir, spec.Build(), spec.Input(1), o)
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("key store has no artifact for this model/options; run `zkml keygen` first: %w", err)
+		}
+		return sys, err
+	}
+	return zkml.Compile(spec.Build(), spec.Input(1), o)
+}
+
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	name, backend, sb, lb, mc, _ := commonFlags(fs)
 	in := fs.String("in", "", "serialized proof file (from `zkml prove -out`)")
+	keysDir := fs.String("keys", "", "key store directory (from `zkml keygen`); skips the recompile")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -351,10 +440,7 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	// Recompile deterministically to recover the verification key (in a
-	// deployment the vkey would be distributed; weights and layout are
-	// deterministic per model).
-	sys, err := zkml.Compile(spec.Build(), spec.Input(1), o)
+	sys, err := verifierSystem(*keysDir, spec, o)
 	if err != nil {
 		return err
 	}

@@ -5,8 +5,82 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/costmodel"
+	"repro/internal/curve"
 	"repro/internal/obs"
+	"repro/internal/pcs"
+	"repro/zkml"
 )
+
+// TestVerifyFromKeysDoesNoProvingWork is the regression test for the old
+// `zkml verify` behavior, which recompiled the model — full optimizer
+// sweep, keygen MSMs, SRS extension — just to recover the verifying key.
+// With a key store, building the verifier side must involve zero MSM work
+// and zero SRS setup, and the resulting system must still verify real
+// proofs (and refuse to prove).
+func TestVerifyFromKeysDoesNoProvingWork(t *testing.T) {
+	spec, err := zkml.Model("dlrm-micro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := zkml.Options{ScaleBits: 6, LookupBits: 10, MaxCols: 20,
+		Calibration: costmodel.Calibrate(8, 10)}
+	sys, err := zkml.Compile(spec.Build(), spec.Input(1), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := sys.Prove(spec.Input(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	var counters obs.KernelCounters
+	prev := curve.SetKernelTrace(&counters)
+	before := pcs.SetupWorkSnapshot()
+	verifier, err := verifierSystem(dir, spec, o)
+	setup := pcs.SetupWorkSnapshot().Sub(before)
+	curve.SetKernelTrace(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msms int64
+	for i := range counters.MSM {
+		msms += counters.MSM[i].Load()
+	}
+	if msms != 0 {
+		t.Fatalf("verifier construction performed %d MSMs, want 0", msms)
+	}
+	if !setup.IsZero() {
+		t.Fatalf("verifier construction did SRS setup work: %+v", setup)
+	}
+	if err := verifier.Verify(proof); err != nil {
+		t.Fatalf("stored-VK verifier rejected a valid proof: %v", err)
+	}
+	if _, err := verifier.Prove(spec.Input(7)); err == nil {
+		t.Fatal("verifier-only system agreed to prove")
+	}
+	// A populated store also short-circuits the prove side: loading does no
+	// setup work either.
+	before = pcs.SetupWorkSnapshot()
+	warm, err := loadOrCompile(dir, spec, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pcs.SetupWorkSnapshot().Sub(before); !d.IsZero() {
+		t.Fatalf("warm loadOrCompile did SRS setup work: %+v", d)
+	}
+	warmProof, err := warm.Prove(spec.Input(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verifier.Verify(warmProof); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // traceJSON builds a minimal well-formed trace payload whose cost-model
 // total row carries the given relative error.

@@ -312,6 +312,9 @@ type Proof struct {
 // Prove synthesizes the witness for an input and produces a proof plus the
 // public values.
 func (p *Plan) Prove(keys *Keys, in *model.Input) (*Proof, error) {
+	if keys == nil || keys.PK == nil {
+		return nil, fmt.Errorf("core: keys carry no proving key (verify-only system)")
+	}
 	art, err := p.Synthesize(in)
 	if err != nil {
 		return nil, err
@@ -329,6 +332,9 @@ func (p *Plan) Prove(keys *Keys, in *model.Input) (*Proof, error) {
 // covers only the plonkish proving pipeline; witness synthesis happens
 // before tracing starts.
 func (p *Plan) ProveTraced(keys *Keys, in *model.Input) (*Proof, *obs.Report, error) {
+	if keys == nil || keys.PK == nil {
+		return nil, nil, fmt.Errorf("core: keys carry no proving key (verify-only system)")
+	}
 	art, err := p.Synthesize(in)
 	if err != nil {
 		return nil, nil, err

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/curve"
 	"repro/internal/ff"
+	"repro/internal/fsio"
 	"repro/internal/obs"
 	"repro/internal/pcs"
 	"repro/internal/poly"
@@ -219,7 +220,7 @@ func (c *Calibration) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, b, 0o644)
+	return fsio.WriteFileAtomic(path, b, 0o644)
 }
 
 // LoadCalibration reads a calibration file.

@@ -1,0 +1,52 @@
+// Package fsio provides crash-safe file writes for every artifact the
+// system persists: proofs, trace reports, calibration files, model exports,
+// and the compiled-key store. A bare os.WriteFile interrupted mid-write
+// leaves a truncated file that downstream loaders then reject (or, worse,
+// misparse); WriteFileAtomic stages the bytes in a temporary file in the
+// destination directory and renames it into place, so readers observe
+// either the old content or the complete new content, never a prefix.
+package fsio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path atomically: the bytes go to a
+// temporary file in path's directory (same filesystem, so the final rename
+// cannot degrade to a copy), are flushed to disk, and the temp file is
+// renamed over path. On any failure the temp file is removed and the
+// destination is left untouched.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fsio: staging %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	// Any failure past this point must not leave the temp file behind.
+	fail := func(step string, err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("fsio: %s %s: %w", step, path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail("writing", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("syncing", err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fail("setting mode on", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fsio: closing staged %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fsio: installing %s: %w", path, err)
+	}
+	return nil
+}

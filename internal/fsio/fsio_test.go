@@ -1,0 +1,83 @@
+package fsio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.bin")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite: readers must see either the old or the new content, and
+	// the final state is the new content.
+	if err := WriteFileAtomic(path, []byte("v2-longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2-longer" {
+		t.Fatalf("overwrite read back %q", got)
+	}
+	// No staging litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected 1 file, found %d", len(entries))
+	}
+}
+
+func TestWriteFileAtomicFailureLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "missing-dir", "artifact.bin")
+	if err := WriteFileAtomic(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("expected error writing into a missing directory")
+	}
+	// A failed write into an existing destination keeps the old bytes.
+	path = filepath.Join(dir, "keep.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Force a rename failure by making the directory read-only is
+	// platform-dependent; instead verify the success path never exposes a
+	// partial file by checking content equality after many overwrites.
+	for i := 0; i < 16; i++ {
+		data := []byte(strings.Repeat("x", 1+i*1024))
+		if err := WriteFileAtomic(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil || len(got) != len(data) {
+			t.Fatalf("iteration %d: read %d bytes, want %d (%v)", i, len(got), len(data), err)
+		}
+	}
+}
+
+func TestWriteFileAtomicMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mode.bin")
+	if err := WriteFileAtomic(path, []byte("m"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o600 {
+		t.Fatalf("mode %v, want 0600", fi.Mode().Perm())
+	}
+}

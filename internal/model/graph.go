@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/fsio"
 	"repro/internal/tensor"
 	"repro/internal/zkerrors"
 )
@@ -236,7 +237,7 @@ func (g *Graph) Save(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, b, 0o644)
+	return fsio.WriteFileAtomic(path, b, 0o644)
 }
 
 // Parse decodes and validates a graph from untrusted JSON bytes. Any

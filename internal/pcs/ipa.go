@@ -45,6 +45,7 @@ func NewIPA(maxLen int) *IPAScheme {
 	}
 	for len(ipaBasis) < n {
 		ipaBasis = append(ipaBasis, curve.HashToCurve("ipa-basis", len(ipaBasis)))
+		setupWork.ipaPointsDerived.Add(1)
 	}
 	return &IPAScheme{basis: ipaBasis[:n], u: *ipaU, n: n}
 }

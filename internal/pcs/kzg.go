@@ -65,8 +65,10 @@ func NewKZG(maxLen int) *KZGScheme {
 func (k *KZGScheme) extend(maxLen int) {
 	if kzgTable == nil {
 		kzgTable = fixedBaseTable(k.g)
+		setupWork.kzgCombBuilds.Add(1)
 	}
 	start := len(k.powers)
+	setupWork.kzgPowersExtended.Add(int64(maxLen - start))
 	jacs := make([]curve.Jac, maxLen-start)
 	parallel.Range(len(jacs), func(lo, hi int) {
 		var tauPow ff.Element

@@ -1,0 +1,56 @@
+package pcs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/zkerrors"
+)
+
+func TestSRSRoundTrip(t *testing.T) {
+	for _, b := range []Backend{KZG, IPA} {
+		data, err := ExportSRS(b, 64)
+		if err != nil {
+			t.Fatalf("%v export: %v", b, err)
+		}
+		got, n, err := ImportSRS(data)
+		if err != nil {
+			t.Fatalf("%v import: %v", b, err)
+		}
+		if got != b || n != 64 {
+			t.Fatalf("%v import returned (%v, %d)", b, got, n)
+		}
+		// A warm import means a scheme at or below the imported size does
+		// no setup work.
+		before := SetupWorkSnapshot()
+		if _, err := New(b, 64); err != nil {
+			t.Fatal(err)
+		}
+		if d := SetupWorkSnapshot().Sub(before); !d.IsZero() {
+			t.Fatalf("%v scheme after import did setup work: %+v", b, d)
+		}
+	}
+}
+
+func TestSRSImportRejectsCorruption(t *testing.T) {
+	data, err := ExportSRS(KZG, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XSRS"), data[4:]...),
+		"truncated": data[:len(data)-7],
+		"trailing":  append(append([]byte(nil), data...), 0),
+	}
+	// Flip a byte inside the first power (x coordinate low byte): either
+	// the point leaves the curve or it no longer matches the ceremony.
+	flipped := append([]byte(nil), data...)
+	flipped[10+31] ^= 1
+	cases["flipped point"] = flipped
+	for name, d := range cases {
+		if _, _, err := ImportSRS(d); !errors.Is(err, zkerrors.ErrMalformedArtifact) {
+			t.Errorf("%s: got %v, want ErrMalformedArtifact", name, err)
+		}
+	}
+}

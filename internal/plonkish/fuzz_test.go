@@ -169,3 +169,38 @@ func TestProofCraftedHeaderAmplification(t *testing.T) {
 		}
 	}
 }
+
+// FuzzKeyMaterialUnmarshal feeds arbitrary bytes to the key-store decoder.
+// Persisted key material is loaded from disk and treated as untrusted:
+// arbitrary input must never panic or over-allocate, every rejection must
+// wrap ErrMalformedArtifact, and any input the decoder accepts must
+// re-marshal byte-identically — the canonical scalar and point encodings
+// make the wire format injective, so a second encoding of the same material
+// being accepted is a bug.
+func FuzzKeyMaterialUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(append(append([]byte(nil), keyMagic[:]...), keyVersion))
+	for _, b := range []pcs.Backend{pcs.KZG, pcs.IPA} {
+		data, err := fixture(f, b).pk.Material().MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m KeyMaterial
+		if err := m.UnmarshalBinary(data); err != nil {
+			if !errors.Is(err, zkerrors.ErrMalformedArtifact) {
+				t.Fatalf("decode error does not wrap ErrMalformedArtifact: %v", err)
+			}
+			return
+		}
+		round, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted material failed to re-marshal: %v", err)
+		}
+		if !bytes.Equal(round, data) {
+			t.Fatalf("non-canonical encoding accepted: %d bytes in, %d bytes out", len(data), len(round))
+		}
+	})
+}

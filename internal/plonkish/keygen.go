@@ -67,35 +67,45 @@ func phiCol(k int) Col   { return Col{Kind: LookupPhi, Index: k} }
 func zCol(j int) Col     { return Col{Kind: PermZ, Index: j} }
 func sigmaCol(i int) Col { return Col{Kind: PermSigma, Index: i} }
 
-// Setup generates the proving and verifying keys for a circuit with n rows
-// and the given fixed-column values (length cs.NumFixed, each of length n).
-func Setup(cs *CS, n int, fixed [][]ff.Element, backend pcs.Backend) (*ProvingKey, *VerifyingKey, error) {
+// validateShape checks the circuit/row-count invariants shared by every
+// setup path (full keygen, material-based setup, VK-only setup).
+func validateShape(cs *CS, n int) error {
 	if err := cs.Validate(); err != nil {
-		return nil, nil, err
+		return err
 	}
 	if n <= 0 || n&(n-1) != 0 {
-		return nil, nil, fmt.Errorf("plonkish: rows %d must be a power of two", n)
+		return fmt.Errorf("plonkish: rows %d must be a power of two", n)
 	}
 	if n < 2*ZKRows {
-		return nil, nil, fmt.Errorf("plonkish: rows %d too small (min %d)", n, 2*ZKRows)
-	}
-	if len(fixed) != cs.NumFixed {
-		return nil, nil, fmt.Errorf("plonkish: got %d fixed columns, want %d", len(fixed), cs.NumFixed)
+		return fmt.Errorf("plonkish: rows %d too small (min %d)", n, 2*ZKRows)
 	}
 	u := n - ZKRows
 	for _, l := range cs.Lookups {
 		if l.TableLen > u {
-			return nil, nil, fmt.Errorf("plonkish: lookup %q table (%d rows) exceeds usable rows %d", l.Name, l.TableLen, u)
+			return fmt.Errorf("plonkish: lookup %q table (%d rows) exceeds usable rows %d", l.Name, l.TableLen, u)
 		}
 	}
 	for _, cp := range cs.Copies {
 		for _, cell := range cp {
 			if cell.Row < 0 || cell.Row >= u {
-				return nil, nil, fmt.Errorf("plonkish: copy constraint row %d outside usable region [0,%d)", cell.Row, u)
+				return fmt.Errorf("plonkish: copy constraint row %d outside usable region [0,%d)", cell.Row, u)
 			}
 		}
 	}
+	return nil
+}
 
+// setupSkeleton builds the parts of a proving key that are cheap and
+// deterministic from the circuit shape: domains, the commitment scheme, the
+// fixed-column values (circuit columns plus the internal q_active/l_0/l_u),
+// the permutation sigma values, and the flattened constraint list. It does
+// no polynomial interpolation and no commitment MSMs — those are either
+// performed by Setup or supplied from persisted KeyMaterial.
+func setupSkeleton(cs *CS, n int, fixed [][]ff.Element, backend pcs.Backend) (*ProvingKey, error) {
+	if len(fixed) != cs.NumFixed {
+		return nil, fmt.Errorf("plonkish: got %d fixed columns, want %d", len(fixed), cs.NumFixed)
+	}
+	u := n - ZKRows
 	pk := &ProvingKey{CS: cs, N: n, U: u}
 	pk.Domain = poly.NewDomain(n)
 	pk.DMax = cs.Degree()
@@ -107,7 +117,7 @@ func Setup(cs *CS, n int, fixed [][]ff.Element, backend pcs.Backend) (*ProvingKe
 
 	scheme, err := pcs.New(backend, n)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	pk.Scheme = scheme
 
@@ -115,7 +125,7 @@ func Setup(cs *CS, n int, fixed [][]ff.Element, backend pcs.Backend) (*ProvingKe
 	pk.FixedVals = make([][]ff.Element, cs.NumFixed+3)
 	for i, col := range fixed {
 		if len(col) != n {
-			return nil, nil, fmt.Errorf("plonkish: fixed column %d has %d rows, want %d", i, len(col), n)
+			return nil, fmt.Errorf("plonkish: fixed column %d has %d rows, want %d", i, len(col), n)
 		}
 		pk.FixedVals[i] = col
 	}
@@ -132,8 +142,37 @@ func Setup(cs *CS, n int, fixed [][]ff.Element, backend pcs.Backend) (*ProvingKe
 	pk.FixedVals[cs.NumFixed+2] = lu
 
 	// Sigma values from the copy constraints.
-	permCols := cs.PermCols()
-	pk.SigmaVals, err = buildSigmas(cs, permCols, n, u)
+	pk.SigmaVals, err = buildSigmas(cs, cs.PermCols(), n, u)
+	if err != nil {
+		return nil, err
+	}
+
+	pk.Constraints = buildConstraints(cs, u)
+	pk.Queries = collectOpeningQueries(pk.Constraints)
+	return pk, nil
+}
+
+// finishKeys assembles the verifying key and links it into the proving key.
+func finishKeys(pk *ProvingKey, fixedCommits, sigmaCommits []curve.Affine) (*ProvingKey, *VerifyingKey, error) {
+	vk := &VerifyingKey{
+		CS: pk.CS, N: pk.N, U: pk.U, DMax: pk.DMax,
+		FixedCommits: fixedCommits,
+		SigmaCommits: sigmaCommits,
+		Constraints:  pk.Constraints,
+		Queries:      pk.Queries,
+		Scheme:       pk.Scheme,
+	}
+	pk.VK = vk
+	return pk, vk, nil
+}
+
+// Setup generates the proving and verifying keys for a circuit with n rows
+// and the given fixed-column values (length cs.NumFixed, each of length n).
+func Setup(cs *CS, n int, fixed [][]ff.Element, backend pcs.Backend) (*ProvingKey, *VerifyingKey, error) {
+	if err := validateShape(cs, n); err != nil {
+		return nil, nil, err
+	}
+	pk, err := setupSkeleton(cs, n, fixed, backend)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -145,6 +184,7 @@ func Setup(cs *CS, n int, fixed [][]ff.Element, backend pcs.Backend) (*ProvingKe
 	pk.SigmaPolys = make([][]ff.Element, len(pk.SigmaVals))
 	sigmaCommits := make([]curve.Affine, len(pk.SigmaVals))
 	nf := len(pk.FixedVals)
+	scheme := pk.Scheme
 	parallel.For(nf+len(pk.SigmaVals), func(i int) {
 		var vals []ff.Element
 		var polys [][]ff.Element
@@ -161,19 +201,7 @@ func Setup(cs *CS, n int, fixed [][]ff.Element, backend pcs.Backend) (*ProvingKe
 		commits[i] = scheme.Commit(p)
 	})
 
-	pk.Constraints = buildConstraints(cs, u)
-	pk.Queries = collectOpeningQueries(pk.Constraints)
-
-	vk := &VerifyingKey{
-		CS: cs, N: n, U: u, DMax: pk.DMax,
-		FixedCommits: fixedCommits,
-		SigmaCommits: sigmaCommits,
-		Constraints:  pk.Constraints,
-		Queries:      pk.Queries,
-		Scheme:       scheme,
-	}
-	pk.VK = vk
-	return pk, vk, nil
+	return finishKeys(pk, fixedCommits, sigmaCommits)
 }
 
 // Digest returns a hash binding the verifying key contents, absorbed into

@@ -28,4 +28,19 @@ var (
 	// ErrMalformedProof lets servers count attack traffic separately from
 	// honest-but-wrong proofs.
 	ErrVerifyFailed = errors.New("verification failed")
+
+	// ErrMalformedArtifact marks a persisted compiled artifact (key store
+	// file, serialized SRS, key material) that is structurally invalid:
+	// bad magic or version, truncated or oversized sections, points not
+	// on the curve, non-canonical scalars, or material inconsistent with
+	// the circuit it claims to serve. Artifact files sit on disk between
+	// processes and may be copied between machines, so loaders treat them
+	// as untrusted input.
+	ErrMalformedArtifact = errors.New("malformed artifact")
+
+	// ErrInvalidOptions marks a compilation-option combination rejected
+	// at Compile/Optimize entry (e.g. MinCols > MaxCols, negative scale
+	// bits, lookup precision at or below the scale), so misconfiguration
+	// fails at the API boundary instead of deep inside the optimizer.
+	ErrInvalidOptions = errors.New("invalid options")
 )

@@ -40,6 +40,10 @@ var (
 	ErrMalformedModel = zkerrors.ErrMalformedModel
 	// ErrVerifyFailed: a well-formed proof failed a cryptographic check.
 	ErrVerifyFailed = zkerrors.ErrVerifyFailed
+	// ErrInvalidOptions: compilation options are inconsistent (for example
+	// MinCols > MaxCols, a negative ScaleBits, or LookupBits not exceeding
+	// ScaleBits). Returned by Compile/Optimize before any work runs.
+	ErrInvalidOptions = zkerrors.ErrInvalidOptions
 )
 
 // Backend selects the polynomial commitment scheme.
@@ -107,11 +111,47 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// validate rejects inconsistent options with a clear error up front, before
+// any calibration, synthesis, or keygen work runs. All failures wrap
+// ErrInvalidOptions. Called on the withDefaults()-resolved options, so zero
+// values have already been filled in and only genuinely bad inputs fail.
+func (o Options) validate() error {
+	o = o.withDefaults()
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("zkml: %s: %w", fmt.Sprintf(format, args...), zkerrors.ErrInvalidOptions)
+	}
+	if o.Backend != KZG && o.Backend != IPA {
+		return bad("unknown backend %d", int(o.Backend))
+	}
+	if o.Objective != MinTime && o.Objective != MinSize {
+		return bad("unknown objective %q", string(o.Objective))
+	}
+	if o.ScaleBits < 1 || o.ScaleBits > 24 {
+		return bad("ScaleBits %d out of range [1,24]", o.ScaleBits)
+	}
+	if o.LookupBits <= o.ScaleBits {
+		return bad("LookupBits %d must exceed ScaleBits %d", o.LookupBits, o.ScaleBits)
+	}
+	if o.LookupBits > 26 {
+		return bad("LookupBits %d out of range (max 26)", o.LookupBits)
+	}
+	if o.MinCols < 1 {
+		return bad("MinCols %d must be positive", o.MinCols)
+	}
+	if o.MinCols > o.MaxCols {
+		return bad("MinCols %d exceeds MaxCols %d", o.MinCols, o.MaxCols)
+	}
+	return nil
+}
+
 // System is a compiled model: the optimizer-selected circuit layout plus
 // the model-specific proving and verification keys.
 type System struct {
 	Plan *core.Plan
 	Keys *core.Keys
+	// opts records the options the system was compiled (or loaded) with, so
+	// Save can fingerprint the artifact it writes.
+	opts Options
 }
 
 // Proof is a model-inference proof with its public outputs.
@@ -139,6 +179,9 @@ func LoadModel(path string) (*Graph, error) { return model.Load(path) }
 // Optimize runs the layout optimizer without generating keys, returning the
 // chosen plan and every candidate considered.
 func Optimize(g *Graph, sample *Input, o Options) (*core.Plan, []core.Candidate, core.Stats, error) {
+	if err := o.validate(); err != nil {
+		return nil, nil, core.Stats{}, err
+	}
 	o = o.withDefaults()
 	fp := fixedpoint.Params{ScaleBits: o.ScaleBits, LookupBits: o.LookupBits}
 	if err := fp.Validate(); err != nil {
@@ -166,7 +209,7 @@ func Compile(g *Graph, sample *Input, o Options) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("zkml: keygen: %w", err)
 	}
-	return &System{Plan: plan, Keys: keys}, nil
+	return &System{Plan: plan, Keys: keys, opts: o}, nil
 }
 
 // Prove produces a ZK-SNARK that the committed model, applied to the given
