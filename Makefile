@@ -16,7 +16,7 @@
 #                    HTTP, and assert the warm path does zero keygen/SRS
 #                    work while /stats surfaces the request trace
 #   make bench-json  kernel + prover benchmark snapshot (with fitted
-#                    cost-model relative error) -> BENCH_6.json
+#                    cost-model relative error) -> BENCH_8.json
 
 GO ?= go
 
@@ -31,7 +31,8 @@ FUZZ_TARGETS = \
 	./internal/plonkish/:FuzzVerify \
 	./internal/plonkish/:FuzzKeyMaterialUnmarshal \
 	./internal/model/:FuzzModelLoad \
-	./internal/curve/:FuzzPointSetBytes
+	./internal/curve/:FuzzPointSetBytes \
+	./internal/curve/:FuzzGLVDecompose
 FUZZTIME ?= 5s
 
 .PHONY: ci vet build test race fuzz-smoke bench bench-smoke trace-smoke daemon-smoke bench-json
@@ -61,9 +62,10 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # One iteration of the kernel benchmarks: compiles and runs the bench code
-# without measuring anything meaningful.
+# without measuring anything meaningful. -short keeps the commitment
+# benchmarks at sizes that don't grow the shared SRS past CI budgets.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFFT|BenchmarkMSM' -benchtime=1x ./internal/poly/ ./internal/curve/
+	$(GO) test -run '^$$' -short -bench 'BenchmarkFFT|BenchmarkMSM|BenchmarkFixedBaseMSM|BenchmarkCommit' -benchtime=1x ./internal/poly/ ./internal/curve/ ./internal/pcs/
 
 # Fit the cost model from traced proves (calibration v2), prove once more
 # with tracing, and check the report: the schema parses, every pipeline
@@ -87,4 +89,4 @@ daemon-smoke:
 
 # Committed perf-trajectory snapshot (see EXPERIMENTS.md and cmd/bench-snapshot).
 bench-json:
-	$(GO) run ./cmd/bench-snapshot -out BENCH_6.json
+	$(GO) run ./cmd/bench-snapshot -out BENCH_8.json

@@ -38,10 +38,16 @@ type stageError struct {
 // and log2 size, plus per-stage cost-model error keyed by model/backend.
 // v3 adds the calibration metadata: whether the cost model was trace-fitted
 // (calibration v2) before the comparison, and the fitted constants.
+// v4 adds the amortized commitment engine: the generic MSM with GLV off
+// (the PR 3 kernel baseline), the table-warm fixed-base MSM, and the
+// per-backend commitment path cold (table built in the call) and warm.
 type snapshot struct {
 	Schema             string                           `json:"schema"`
 	FFTNs              map[string]int64                 `json:"fft_ns"`
 	MSMNs              map[string]int64                 `json:"msm_ns"`
+	MSMGLVOffNs        map[string]int64                 `json:"msm_glv_off_ns"`
+	MSMFixedWarmNs     map[string]int64                 `json:"msm_fixed_warm_ns"`
+	CommitNs           map[string]int64                 `json:"commit_ns"`
 	ProveNs            map[string]int64                 `json:"prove_ns"`
 	CostModel          map[string]map[string]stageError `json:"cost_model"`
 	CalibrationVersion int                              `json:"calibration_version"`
@@ -51,8 +57,18 @@ type snapshot struct {
 	Hostname           string                           `json:"hostname,omitempty"`
 }
 
+// benchNs reports the best of three benchmark runs: on a shared host the
+// minimum tracks the kernel's true cost, where a single run can absorb a
+// neighbor's noise and skew committed ratios by ±30%.
 func benchNs(f func(b *testing.B)) int64 {
-	return testing.Benchmark(f).NsPerOp()
+	best := int64(0)
+	for i := 0; i < 3; i++ {
+		ns := testing.Benchmark(f).NsPerOp()
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
 }
 
 func fftNs(logN int) int64 {
@@ -68,14 +84,15 @@ func fftNs(logN int) int64 {
 	})
 }
 
-func msmNs(logN int) int64 {
+// msmInput returns n distinct points (i+1)·G and deterministic full-width
+// scalars (s <- s^2 + i): small scalars would leave most Pippenger windows
+// empty and understate the real cost.
+func msmInput(logN int) ([]curve.Affine, []ff.Element) {
 	n := 1 << uint(logN)
 	g := curve.Generator()
 	jacs := make([]curve.Jac, n)
 	scs := make([]ff.Element, n)
 	var acc curve.Jac
-	// Deterministic full-width scalars (s <- s^2 + i): small scalars would
-	// leave most Pippenger windows empty and understate the real cost.
 	s := ff.NewElement(3)
 	for i := 0; i < n; i++ {
 		acc.AddMixed(&g)
@@ -85,12 +102,58 @@ func msmNs(logN int) int64 {
 		s.Add(&s, &inc)
 		scs[i] = s
 	}
-	pts := curve.BatchToAffine(jacs)
+	return curve.BatchToAffine(jacs), scs
+}
+
+func msmNs(logN int, glv bool) int64 {
+	pts, scs := msmInput(logN)
+	prev := curve.SetGLV(glv)
+	defer curve.SetGLV(prev)
 	return benchNs(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			curve.MSM(pts, scs)
 		}
 	})
+}
+
+// msmFixedWarmNs times the table-warm fixed-base path: the steady state of
+// every commitment once the per-key table is built.
+func msmFixedWarmNs(logN int) int64 {
+	pts, scs := msmInput(logN)
+	tab := curve.NewFixedBaseTable(pts)
+	if tab == nil {
+		return 0
+	}
+	return benchNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tab.MSM(scs)
+		}
+	})
+}
+
+// commitNs times one backend's Commit at 2^logN, cold (the fixed-base table
+// is rebuilt inside the measured call, as on the first commitment after a
+// key load) and warm (the amortized path every later commitment takes).
+func commitNs(backend pcs.Backend, logN int) (cold, warm int64, err error) {
+	n := 1 << uint(logN)
+	s, err := pcs.New(backend, n)
+	if err != nil {
+		return 0, 0, err
+	}
+	_, scs := msmInput(logN)
+	cold = benchNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pcs.ResetCommitTables()
+			s.Commit(scs)
+		}
+	})
+	s.Commit(scs) // prime the table outside the timed loop
+	warm = benchNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Commit(scs)
+		}
+	})
+	return cold, warm, nil
 }
 
 // proveModel compiles one model for a backend and proves it reps times with
@@ -140,11 +203,14 @@ func main() {
 	flag.Parse()
 
 	snap := snapshot{
-		Schema:    "zkml-bench-snapshot/v3",
-		FFTNs:     map[string]int64{},
-		MSMNs:     map[string]int64{},
-		ProveNs:   map[string]int64{},
-		CostModel: map[string]map[string]stageError{},
+		Schema:         "zkml-bench-snapshot/v4",
+		FFTNs:          map[string]int64{},
+		MSMNs:          map[string]int64{},
+		MSMGLVOffNs:    map[string]int64{},
+		MSMFixedWarmNs: map[string]int64{},
+		CommitNs:       map[string]int64{},
+		ProveNs:        map[string]int64{},
+		CostModel:      map[string]map[string]stageError{},
 	}
 	snap.Workers = 0 // default scheduling; recorded for reproducibility
 	if h, err := os.Hostname(); err == nil {
@@ -156,8 +222,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fft 2^%d done\n", k)
 	}
 	for _, k := range []int{8, 10, 12} {
-		snap.MSMNs[fmt.Sprintf("2^%d", k)] = msmNs(k)
+		key := fmt.Sprintf("2^%d", k)
+		snap.MSMNs[key] = msmNs(k, true)
+		snap.MSMGLVOffNs[key] = msmNs(k, false)
+		snap.MSMFixedWarmNs[key] = msmFixedWarmNs(k)
 		fmt.Fprintf(os.Stderr, "msm 2^%d done\n", k)
+	}
+	for _, backend := range []pcs.Backend{pcs.KZG, pcs.IPA} {
+		const k = 12
+		cold, warm, err := commitNs(backend, k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-snapshot: %s commit: %v\n", backend, err)
+			os.Exit(1)
+		}
+		snap.CommitNs[fmt.Sprintf("%s/2^%d/cold", backend, k)] = cold
+		snap.CommitNs[fmt.Sprintf("%s/2^%d/warm", backend, k)] = warm
+		fmt.Fprintf(os.Stderr, "%s commit 2^%d done\n", backend, k)
 	}
 	// Calibrate the kernel tables, then run the trace-driven fit (ROADMAP
 	// item 3): the recorded cost_model section measures the *fitted*
@@ -188,6 +268,21 @@ func main() {
 		snap.CostModel[key] = rows
 		fmt.Fprintf(os.Stderr, "%s prove done\n", key)
 	}
+	// Same-run engine-off baseline: the identical mnist prove with GLV and
+	// the commit tables disabled. Comparing prove_ns within one snapshot
+	// isolates the commitment engine's end-to-end effect from host noise,
+	// which cross-snapshot comparisons on a shared box cannot.
+	prevGLV := curve.SetGLV(false)
+	prevTab := pcs.SetCommitTables(false)
+	nsOff, _, err := proveModel("mnist", pcs.KZG, calib, *reps)
+	pcs.SetCommitTables(prevTab)
+	curve.SetGLV(prevGLV)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-snapshot: engine-off prove: %v\n", err)
+		os.Exit(1)
+	}
+	snap.ProveNs["mnist/KZG/engine-off"] = nsOff
+	fmt.Fprintf(os.Stderr, "mnist/KZG engine-off prove done\n")
 
 	b, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -72,9 +72,15 @@ func unmarshalField[T any](t *testing.T, m map[string]json.RawMessage, key strin
 	return v
 }
 
-// setupIsZero reports whether a JSON-decoded setup_work block is all zero.
+// setupIsZero reports whether a JSON-decoded setup_work block records no
+// setup work. Commit-table hits are excluded: a hit is the amortized
+// fast path commitments take once a table exists, not setup work
+// (matching pcs.SetupWork.IsZero).
 func setupIsZero(m map[string]int64) bool {
-	for _, v := range m {
+	for k, v := range m {
+		if k == "commit_table_hits" {
+			continue
+		}
 		if v != 0 {
 			return false
 		}
@@ -124,8 +130,12 @@ func TestDaemonSmoke(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("warm prove: status %d: %s", resp.StatusCode, body["error"])
 	}
-	if !setupIsZero(unmarshalField[map[string]int64](t, body, "setup_work")) {
+	warmWork := unmarshalField[map[string]int64](t, body, "setup_work")
+	if !setupIsZero(warmWork) {
 		t.Fatalf("warm prove did setup work: %s", body["setup_work"])
+	}
+	if warmWork["commit_table_hits"] == 0 {
+		t.Fatal("warm prove was not served by the fixed-base commitment tables")
 	}
 	warmOverhead := warmDur - time.Duration(unmarshalField[float64](t, body, "prove_s")*float64(time.Second))
 	if warmOverhead > coldOverhead/2 {
@@ -203,7 +213,12 @@ func TestDaemonSmoke(t *testing.T) {
 	if unmarshalField[string](t, body, "source") != "store" {
 		t.Fatalf("restart prove source %s, want store", body["source"])
 	}
-	if !setupIsZero(unmarshalField[map[string]int64](t, body, "setup_work")) {
+	restartWork := unmarshalField[map[string]int64](t, body, "setup_work")
+	if b := restartWork["commit_table_builds"]; b > 1 {
+		t.Fatalf("restart prove rebuilt commitment tables %d times, want at most one per model load", b)
+	}
+	restartWork["commit_table_builds"] = 0
+	if !setupIsZero(restartWork) {
 		t.Fatalf("cold start from populated store did setup work: %s", body["setup_work"])
 	}
 }

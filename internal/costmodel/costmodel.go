@@ -52,6 +52,10 @@ type Calibration struct {
 	Hardware string          `json:"hardware"`
 	FFT      map[int]float64 `json:"fft"`
 	MSM      map[int]float64 `json:"msm"`
+	// MSMFixed times the table-warm fixed-base MSM path commitments take
+	// once the per-key table is built (see internal/curve fixedbase.go).
+	// Optional: legacy calibration files without it fall back to MSM.
+	MSMFixed map[int]float64 `json:"msm_fixed,omitempty"`
 	Lookup   map[int]float64 `json:"lookup"`
 	FieldOp  float64         `json:"field_op"` // one multiply-add
 	// Fits holds the trace-fitted per-stage corrections, keyed by
@@ -175,10 +179,17 @@ func Calibrate(minK, maxK int) *Calibration {
 		Hardware: "local",
 		FFT:      map[int]float64{},
 		MSM:      map[int]float64{},
+		MSMFixed: map[int]float64{},
 		Lookup:   map[int]float64{},
 	}
 	basis := msmBasis(1 << uint(maxK))
 	scalars := fullWidthScalars(1 << uint(maxK))
+	// The commitment path runs against a per-key fixed-base table built over
+	// the full basis and reused at every prefix size, so the microbenchmark
+	// mirrors that: one table at 2^maxK, timed at each k. Built directly at
+	// the curve layer — going through pcs would perturb its process-wide
+	// table cache and setup-work counters mid-test.
+	fixedTab := curve.NewFixedBaseTable(basis)
 	for k := minK; k <= maxK; k++ {
 		n := 1 << uint(k)
 		d := poly.NewDomain(n)
@@ -194,6 +205,9 @@ func Calibrate(minK, maxK int) *Calibration {
 		pts := basis[:n]
 		scs := scalars[:n]
 		c.MSM[k] = medianSeconds(calibrationReps, func() { curve.MSM(pts, scs) })
+		if fixedTab != nil {
+			c.MSMFixed[k] = medianSeconds(calibrationReps, func() { fixedTab.MSM(scs) })
+		}
 
 		c.Lookup[k] = medianSeconds(calibrationReps, func() { lookupBench(n) })
 	}
@@ -355,14 +369,29 @@ func (c *Calibration) fieldOpFloor() float64 {
 func fftShape(k int) float64 { return float64(int64(1)<<uint(k)) * float64(k) }
 
 // msmShape is the signed-window Pippenger operation count at the kernel's
-// own window schedule: windows·(n bucket adds + 2·2^(c-1) reduction adds),
-// with the window width c (and hence the bucket count) coming from
-// curve.WindowSize so the model tracks the kernel's memory-budget clamp.
+// own window schedule: windows·(points bucket adds + 2·2^(c-1) reduction
+// adds), with the window width c (and hence the bucket count) coming from
+// the kernel's own scheduler so the model tracks its memory-budget clamp.
+// With GLV enabled (the default) the kernel runs 2n half-scalar points
+// through ~half the windows, so the shape follows curve.GLVWindows.
 func msmShape(k int) float64 {
 	n := int64(1) << uint(k)
+	if curve.GLVEnabled() {
+		c, nw := curve.GLVWindows(int(n))
+		return float64(nw) * (float64(2*n) + 2*float64(int64(1)<<uint(c-1)))
+	}
 	w := curve.WindowSize(int(n))
 	windows := curve.NumWindows(w)
 	return float64(int64(windows)) * (float64(n) + 2*float64(int64(1)<<uint(w-1)))
+}
+
+// fixedShape is the table-warm fixed-base operation count: all 2n·nw window
+// digits share one pre-scaled bucket set, so there is a single reduction
+// and no Horner doublings (see curve.FixedBaseWindows for the schedule).
+func fixedShape(k int) float64 {
+	n := int64(1) << uint(k)
+	c, nw := curve.FixedBaseWindows(int(n))
+	return float64(2*n)*float64(nw) + 2*float64(int64(1)<<uint(c-1))
 }
 
 // linearShape is the n asymptotic used for lookup extrapolation.
@@ -389,6 +418,17 @@ func (c *Calibration) TimeMSM(k int) float64 {
 		return t
 	}
 	return msmShape(k) * 10 * c.fieldOpFloor()
+}
+
+// TimeMSMFixed returns the estimated seconds for one size-2^k commitment
+// MSM on the table-warm fixed-base path. Legacy calibrations without an
+// msm_fixed table fall back to the generic MSM estimate, which only
+// overprices commitments (never underprices the layout).
+func (c *Calibration) TimeMSMFixed(k int) float64 {
+	if t := interp(c.MSMFixed, k, fixedShape); t > 0 {
+		return t
+	}
+	return c.TimeMSM(k)
 }
 
 // TimeLookup returns the estimated seconds to construct one lookup argument
@@ -480,25 +520,33 @@ func (l Layout) permChunks() int {
 // assigns beyond the per-stage commitments to the opening.
 func (c *Calibration) basePredictStages(l Layout) obs.StagePrediction {
 	fft := c.TimeFFT(l.K)
-	msm := c.TimeMSM(l.K)
+	// Every commitment runs on the table-warm fixed-base path (the per-key
+	// table amortizes to free across a proof's dozens of commitments); only
+	// the IPA opening's basis-folding MSMs are genuinely variable-base.
+	msmC := c.TimeMSMFixed(l.K)
 	chunks := l.permChunks()
 	nFFT := float64(l.NumFFT())
 	extN := float64(int64(1) << uint(l.ExtK()))
 
 	p := obs.StagePrediction{}
-	p[obs.StageCommit.String()] = float64(l.NumInstance+l.NumAdvice)*fft + float64(l.NumAdvice)*msm
-	p[obs.StageLookup.String()] = float64(3*l.NumLookups)*fft + float64(2*l.NumLookups)*msm +
+	p[obs.StageCommit.String()] = float64(l.NumInstance+l.NumAdvice)*fft + float64(l.NumAdvice)*msmC
+	p[obs.StageLookup.String()] = float64(3*l.NumLookups)*fft + float64(2*l.NumLookups)*msmC +
 		float64(l.NumLookups)*c.TimeLookup(l.K)
-	p[obs.StagePerm.String()] = float64(chunks) * (fft + msm)
-	p[obs.StageQuotient.String()] = (nFFT+1)*c.TimeFFT(l.ExtK()) + float64(l.DMax-1)*msm +
+	p[obs.StagePerm.String()] = float64(chunks) * (fft + msmC)
+	p[obs.StageQuotient.String()] = (nFFT+1)*c.TimeFFT(l.ExtK()) + float64(l.DMax-1)*msmC +
 		float64(l.ConstraintOps)*extN*c.FieldOp
 	// Whatever MSM count eq. (1) budgets beyond the commitments attributed
-	// above lands in the opening stage.
+	// above lands in the opening stage: quotient-witness commitments for
+	// KZG (fixed-base), basis-folding MSMs for IPA (variable-base).
 	open := float64(l.NumMSM()) - float64(l.NumAdvice+2*l.NumLookups+chunks+(l.DMax-1))
 	if open < 0 {
 		open = 0
 	}
-	p[obs.StageOpen.String()] = open * msm
+	if l.Backend == pcs.IPA {
+		p[obs.StageOpen.String()] = open * c.TimeMSM(l.K)
+	} else {
+		p[obs.StageOpen.String()] = open * msmC
+	}
 	return p
 }
 

@@ -152,3 +152,33 @@ func TestCalibratedMSMTracksFullWidth(t *testing.T) {
 			got, ratio, ref)
 	}
 }
+
+func TestCalibrateMeasuresFixedBaseMSM(t *testing.T) {
+	// Calibrate populates the table-warm fixed-base timings, and the warm
+	// path must not be slower than the generic kernel by more than noise
+	// (it does strictly less work: no Horner doublings, one reduction).
+	if len(calib.MSMFixed) == 0 {
+		t.Fatal("Calibrate left the msm_fixed table empty")
+	}
+	for k, fixed := range calib.MSMFixed {
+		if fixed <= 0 {
+			t.Fatalf("msm_fixed[%d] = %v, want positive", k, fixed)
+		}
+		if generic := calib.MSM[k]; generic > 0 && fixed > 2*generic {
+			t.Fatalf("table-warm MSM at 2^%d (%.3gs) slower than 2x the generic kernel (%.3gs)",
+				k, fixed, generic)
+		}
+	}
+	if v := calib.TimeMSMFixed(9); v <= 0 {
+		t.Fatalf("TimeMSMFixed(9) = %v, want positive", v)
+	}
+}
+
+func TestTimeMSMFixedFallsBackToMSM(t *testing.T) {
+	// Legacy calibration files carry no msm_fixed table; commitments must
+	// then be priced at the generic MSM cost, not zero.
+	legacy := &Calibration{MSM: map[int]float64{10: 2e-3}}
+	if got, want := legacy.TimeMSMFixed(10), legacy.TimeMSM(10); got != want {
+		t.Fatalf("fallback TimeMSMFixed = %v, want TimeMSM = %v", got, want)
+	}
+}

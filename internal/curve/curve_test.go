@@ -252,9 +252,45 @@ func BenchmarkMSM(b *testing.B) {
 		}
 		aff := BatchToAffine(jacs)
 		copy(pts, aff)
-		b.Run(map[int]string{1 << 8: "2^8", 1 << 10: "2^10", 1 << 12: "2^12"}[n], func(b *testing.B) {
+		name := map[int]string{1 << 8: "2^8", 1 << 10: "2^10", 1 << 12: "2^12"}[n]
+		for _, glv := range []bool{true, false} {
+			sub := name + "/glv=on"
+			if !glv {
+				sub = name + "/glv=off"
+			}
+			b.Run(sub, func(b *testing.B) {
+				prev := SetGLV(glv)
+				defer SetGLV(prev)
+				for i := 0; i < b.N; i++ {
+					MSM(pts, scs)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFixedBaseMSM measures the precomputed-table commitment path
+// (table-warm; the build is paid outside the timed loop) against the same
+// inputs BenchmarkMSM feeds the generic kernel.
+func BenchmarkFixedBaseMSM(b *testing.B) {
+	g := Generator()
+	for _, n := range []int{1 << 10, 1 << 12} {
+		jacs := make([]Jac, n)
+		scs := make([]ff.Element, n)
+		var acc Jac
+		for i := 0; i < n; i++ {
+			acc.AddMixed(&g)
+			jacs[i] = acc
+			scs[i] = ff.Random()
+		}
+		basis := BatchToAffine(jacs)
+		tab := NewFixedBaseTable(basis)
+		if tab == nil {
+			b.Fatal("table build declined")
+		}
+		b.Run(map[int]string{1 << 10: "2^10", 1 << 12: "2^12"}[n], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				MSM(pts, scs)
+				tab.MSM(scs)
 			}
 		})
 	}

@@ -87,6 +87,17 @@ func MSM(points []Affine, scalars []ff.Element) Jac {
 		}
 		return acc
 	}
+	if glvOn.Load() {
+		return msmGLV(points, scalars)
+	}
+	return msmPlain(points, scalars)
+}
+
+// msmPlain is the non-GLV signed-window kernel: full 254-bit scalars, one
+// bucket pass per window. Kept as the GLV fallback and the baseline the
+// GLV-off benchmarks and determinism tests compare against.
+func msmPlain(points []Affine, scalars []ff.Element) Jac {
+	n := len(points)
 	c := WindowSize(n)
 	nw := NumWindows(c)
 	digits := signedDigits(scalars, c, nw)
@@ -139,24 +150,13 @@ func NumWindows(c int) int {
 func signedDigits(scalars []ff.Element, c, nw int) []int32 {
 	n := len(scalars)
 	digits := make([]int32, n*nw)
-	half := int64(1) << uint(c-1)
 	recode := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			// Canonical 4x64 limbs once per scalar. ff.Element.Limbs is
 			// word-size-independent (big.Int.Bits would drop the top 128
 			// bits of every scalar on 32-bit platforms) and allocation-free.
 			l := scalars[i].Limbs()
-			row := digits[i*nw : (i+1)*nw]
-			carry := int64(0)
-			for w := 0; w < nw; w++ {
-				d := int64(windowDigit(&l, w, c)) + carry
-				carry = 0
-				if d > half {
-					d -= int64(1) << uint(c)
-					carry = 1
-				}
-				row[w] = int32(d)
-			}
+			recodeRow(&l, digits[i*nw:(i+1)*nw], c)
 		}
 	}
 	if n >= msmParallelMin && parallel.Workers() > 1 {
@@ -165,6 +165,24 @@ func signedDigits(scalars []ff.Element, c, nw int) []int32 {
 		recode(0, n)
 	}
 	return digits
+}
+
+// recodeRow writes the signed base-2^c digits of the little-endian limb
+// vector l into row. The recoded value must fit in len(row)·c - 1 bits so
+// the top digit absorbs the final carry without re-carrying (NumWindows and
+// the GLV window counts both guarantee this).
+func recodeRow(l *[4]uint64, row []int32, c int) {
+	half := int64(1) << uint(c-1)
+	carry := int64(0)
+	for w := range row {
+		d := int64(windowDigit(l, w, c)) + carry
+		carry = 0
+		if d > half {
+			d -= int64(1) << uint(c)
+			carry = 1
+		}
+		row[w] = int32(d)
+	}
 }
 
 // windowDigit extracts the w-th c-bit window of a 256-bit little-endian

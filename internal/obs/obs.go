@@ -73,6 +73,13 @@ type KernelCounters struct {
 	// MSM / FFT count operations bucketed by ceil(log2(size)).
 	MSM [maxSizeLog]atomic.Int64
 	FFT [maxSizeLog]atomic.Int64
+	// FixedMSM counts the subset of MSMs served by a precomputed fixed-base
+	// table (pcs commitment tables), bucketed like MSM. Every fixed-base MSM
+	// is also counted in MSM, so MSM remains the total.
+	FixedMSM [maxSizeLog]atomic.Int64
+	// GLVSplits counts scalars decomposed via the GLV endomorphism across
+	// all MSM paths (variable-base and fixed-base).
+	GLVSplits atomic.Int64
 	// BatchInvFlushes counts batch-affine MSM inversion flushes (one
 	// shared field inversion per flush; see curve's batchAdder).
 	BatchInvFlushes atomic.Int64
@@ -104,6 +111,23 @@ func (k *KernelCounters) RecordFFT(n int) {
 		return
 	}
 	k.FFT[sizeLog(n)].Add(1)
+}
+
+// RecordFixedBaseMSM counts one n-point MSM served by a fixed-base table
+// (in addition to RecordMSM, which the table path also calls).
+func (k *KernelCounters) RecordFixedBaseMSM(n int) {
+	if k == nil || n <= 0 {
+		return
+	}
+	k.FixedMSM[sizeLog(n)].Add(1)
+}
+
+// RecordGLVSplit counts n scalars decomposed via the GLV endomorphism.
+func (k *KernelCounters) RecordGLVSplit(n int) {
+	if k == nil || n <= 0 {
+		return
+	}
+	k.GLVSplits.Add(int64(n))
 }
 
 // RecordBatchInvFlush counts one batch-affine bucket inversion flush.
@@ -206,6 +230,9 @@ type Report struct {
 	Stages          []StageTiming `json:"stages"`
 	MSMCount        int64         `json:"msm_count"`
 	MSMBySize       []SizeCount   `json:"msm_by_size"`
+	FixedMSMCount   int64         `json:"fixed_msm_count,omitempty"`
+	FixedMSMBySize  []SizeCount   `json:"fixed_msm_by_size,omitempty"`
+	GLVSplits       int64         `json:"glv_splits,omitempty"`
 	FFTCount        int64         `json:"fft_count"`
 	FFTBySize       []SizeCount   `json:"fft_by_size"`
 	BatchInvFlushes int64         `json:"batch_inv_flushes"`
@@ -235,6 +262,8 @@ func (t *Trace) Report() *Report {
 		r.Stages = append(r.Stages, StageTiming{Stage: s.String(), Seconds: float64(t.stageNs[s]) / 1e9})
 	}
 	r.MSMCount, r.MSMBySize = histogram(&t.Kernel.MSM)
+	r.FixedMSMCount, r.FixedMSMBySize = histogram(&t.Kernel.FixedMSM)
+	r.GLVSplits = t.Kernel.GLVSplits.Load()
 	r.FFTCount, r.FFTBySize = histogram(&t.Kernel.FFT)
 	r.BatchInvFlushes = t.Kernel.BatchInvFlushes.Load()
 	r.Opens = t.Kernel.Opens.Load()

@@ -56,13 +56,13 @@ func (s *IPAScheme) Backend() Backend { return IPA }
 // MaxLen implements Scheme.
 func (s *IPAScheme) MaxLen() int { return s.n }
 
-// Commit implements Scheme.
+// Commit implements Scheme. Large commitments run against the lazily-built
+// fixed-base table over the shared basis (see fixedbase.go).
 func (s *IPAScheme) Commit(p []ff.Element) curve.Affine {
 	if len(p) > s.n {
 		panic("pcs: polynomial exceeds IPA basis size")
 	}
-	c := curve.MSM(s.basis[:len(p)], p)
-	return c.ToAffine()
+	return commitMSM(&ipaCommitTables, s.basis, p)
 }
 
 // Open implements Scheme. The recursion folds vectors a (coefficients) and

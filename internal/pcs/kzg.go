@@ -121,13 +121,13 @@ func (k *KZGScheme) Backend() Backend { return KZG }
 // MaxLen implements Scheme.
 func (k *KZGScheme) MaxLen() int { return len(k.powers) }
 
-// Commit implements Scheme.
+// Commit implements Scheme. Large commitments run against the lazily-built
+// fixed-base table over the shared powers-of-tau (see fixedbase.go).
 func (k *KZGScheme) Commit(p []ff.Element) curve.Affine {
 	if len(p) > len(k.powers) {
 		panic("pcs: polynomial exceeds SRS size")
 	}
-	c := curve.MSM(k.powers[:len(p)], p)
-	return c.ToAffine()
+	return commitMSM(&kzgCommitTables, k.powers, p)
 }
 
 // Open implements Scheme: pi = Commit((p - p(z)) / (X - z)).

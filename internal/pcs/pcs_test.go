@@ -169,18 +169,6 @@ func TestIPAPadding(t *testing.T) {
 	}
 }
 
-func BenchmarkCommit(b *testing.B) {
-	for _, n := range []int{1 << 10, 1 << 12} {
-		p := randPoly(n)
-		k := NewKZG(n)
-		b.Run(map[int]string{1 << 10: "KZG/2^10", 1 << 12: "KZG/2^12"}[n], func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				k.Commit(p)
-			}
-		})
-	}
-}
-
 func TestKZGSRSDeterministic(t *testing.T) {
 	// Two independent scheme instances must produce identical commitments
 	// (the SRS stands in for the shared powers-of-tau ceremony artifact,

@@ -38,6 +38,8 @@ var setupWork struct {
 	kzgPowersExtended atomic.Int64
 	kzgCombBuilds     atomic.Int64
 	ipaPointsDerived  atomic.Int64
+	commitTableBuilds atomic.Int64
+	commitTableHits   atomic.Int64
 }
 
 // SetupWork is a snapshot of the process-wide setup-work counters.
@@ -49,6 +51,12 @@ type SetupWork struct {
 	KZGCombBuilds int64 `json:"kzg_comb_builds"`
 	// IPAPointsDerived counts hash-to-curve basis points derived.
 	IPAPointsDerived int64 `json:"ipa_points_derived"`
+	// CommitTableBuilds counts fixed-base commitment-table constructions
+	// (at most one per backend per basis size; see fixedbase.go).
+	CommitTableBuilds int64 `json:"commit_table_builds"`
+	// CommitTableHits counts commitments served by a cached table. Hits are
+	// the amortized fast path, not setup work, so IsZero ignores them.
+	CommitTableHits int64 `json:"commit_table_hits"`
 }
 
 // SetupWorkSnapshot returns the current setup-work counters. Subtract two
@@ -58,6 +66,8 @@ func SetupWorkSnapshot() SetupWork {
 		KZGPowersExtended: setupWork.kzgPowersExtended.Load(),
 		KZGCombBuilds:     setupWork.kzgCombBuilds.Load(),
 		IPAPointsDerived:  setupWork.ipaPointsDerived.Load(),
+		CommitTableBuilds: setupWork.commitTableBuilds.Load(),
+		CommitTableHits:   setupWork.commitTableHits.Load(),
 	}
 }
 
@@ -67,12 +77,17 @@ func (w SetupWork) Sub(prev SetupWork) SetupWork {
 		KZGPowersExtended: w.KZGPowersExtended - prev.KZGPowersExtended,
 		KZGCombBuilds:     w.KZGCombBuilds - prev.KZGCombBuilds,
 		IPAPointsDerived:  w.IPAPointsDerived - prev.IPAPointsDerived,
+		CommitTableBuilds: w.CommitTableBuilds - prev.CommitTableBuilds,
+		CommitTableHits:   w.CommitTableHits - prev.CommitTableHits,
 	}
 }
 
-// IsZero reports whether the snapshot records no setup work.
+// IsZero reports whether the snapshot records no setup work. Commit-table
+// hits are deliberately excluded: a hit is the amortized steady state, not
+// setup work, and warm-path assertions must not trip on it.
 func (w SetupWork) IsZero() bool {
-	return w.KZGPowersExtended == 0 && w.KZGCombBuilds == 0 && w.IPAPointsDerived == 0
+	return w.KZGPowersExtended == 0 && w.KZGCombBuilds == 0 &&
+		w.IPAPointsDerived == 0 && w.CommitTableBuilds == 0
 }
 
 // ExportSRS serializes the commitment-scheme setup for a backend at size
