@@ -17,6 +17,10 @@
 #                    work while /stats surfaces the request trace
 #   make bench-json  kernel + prover benchmark snapshot (with fitted
 #                    cost-model relative error) -> BENCH_8.json
+#   make lint        zkml-lint over the whole module (fsio-atomic,
+#                    determinism, panic-decode; see DESIGN.md §15)
+#   make audit-smoke static circuit audit (`zkml audit`) of every bundled
+#                    model on both backends; fails on any error finding
 
 GO ?= go
 
@@ -35,9 +39,9 @@ FUZZ_TARGETS = \
 	./internal/curve/:FuzzGLVDecompose
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz-smoke bench bench-smoke trace-smoke daemon-smoke bench-json
+.PHONY: ci vet build test race fuzz-smoke bench bench-smoke trace-smoke daemon-smoke bench-json lint audit-smoke
 
-ci: vet build test race fuzz-smoke bench-smoke trace-smoke daemon-smoke
+ci: vet lint build test race audit-smoke fuzz-smoke bench-smoke trace-smoke daemon-smoke
 
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
@@ -86,6 +90,18 @@ trace-smoke:
 # and /stats reports the per-request trace.
 daemon-smoke:
 	$(GO) test -run 'TestDaemon' -count=1 -v ./cmd/zkmld/
+
+# Repo-invariant linter (cmd/zkml-lint): atomic artifact writes, kernel
+# determinism, panic-free untrusted decoders. Exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/zkml-lint ./...
+
+# Static circuit audit of every bundled model on both backends at the fast
+# CI circuit parameters. `zkml audit` exits nonzero on any error-severity
+# finding, so a layout with an unconstrained cell, dead gate, orphan copy,
+# lookup gap, or degree overflow fails CI here — before any proving runs.
+audit-smoke:
+	$(GO) run ./cmd/zkml audit -all -backend both -scale-bits 5 -lookup-bits 9 -max-cols 16
 
 # Committed perf-trajectory snapshot (see EXPERIMENTS.md and cmd/bench-snapshot).
 bench-json:

@@ -1,0 +1,298 @@
+// Command zkml-lint enforces repo invariants `go vet` cannot express, using
+// only the standard library's go/ast + go/types (go.mod stays
+// dependency-free):
+//
+//   - fsio-atomic: no bare os.WriteFile outside internal/fsio — every
+//     artifact write must go through fsio.WriteFileAtomic so a crash cannot
+//     leave a torn key store, calibration, or proof file.
+//   - determinism: no math/rand import and no time.Now call inside the
+//     prover/kernel packages (curve, poly, pcs, plonkish) — proofs must be
+//     byte-reproducible and kernel behaviour must not depend on wall time.
+//   - panic-decode: functions on the untrusted-decode surface (Unmarshal*/
+//     Decode*/Parse*/Import*/Load*/SetBytes returning an error) must not
+//     panic; attacker-controlled bytes get the zkerrors taxonomy, not a
+//     crash.
+//
+// A finding is suppressed by a `//zkml:allow(<rule>)` comment on the same
+// line or the line above (e.g. the sanctioned time.Now in pcs tracing).
+//
+// Usage:
+//
+//	zkml-lint ./...          lint every package under the module root
+//	zkml-lint ./internal/pcs lint one package
+//
+// Packages are type-checked (stdlib via the source importer, module-internal
+// imports resolved recursively); when type information is unavailable the
+// rules degrade to import-table AST resolution rather than failing the run.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	findings, err := run(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zkml-lint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: [%s] %s\n", f.Pos, f.Rule, f.Msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "zkml-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func run(patterns []string) ([]Finding, error) {
+	root, modPath, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset: fset,
+		root: root,
+		mod:  modPath,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
+	var all []Finding
+	for _, dir := range dirs {
+		pkg, err := ld.load(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no non-test Go files
+		}
+		all = append(all, lintPackage(pkg)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return all[i].Rule < all[j].Rule
+	})
+	return all, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod and
+// returns its directory and module path.
+func moduleRoot() (dir, modPath string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "module ") {
+					return dir, strings.TrimSpace(strings.TrimPrefix(line, "module ")), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves ./...-style patterns to package directories under
+// the module root.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			base := root
+			if p := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/"); p != "" {
+				base = filepath.Join(root, p)
+			}
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		d := pat
+		if !filepath.IsAbs(d) {
+			d = filepath.Join(root, pat)
+		}
+		if !hasGoFiles(d) {
+			return nil, fmt.Errorf("no Go files in %s", d)
+		}
+		add(d)
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Package is one lint target: its parsed files plus (when type-checking
+// succeeded) the uses map the rules resolve identifiers through.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// Uses maps identifiers to their objects; nil or missing entries make
+	// the rules fall back to per-file import-table resolution.
+	Uses map[*ast.Ident]types.Object
+}
+
+// loader parses and type-checks packages, resolving module-internal imports
+// recursively and everything else through the stdlib source importer.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	mod     string
+	std     types.Importer
+	pkgs    map[string]*types.Package
+	loading map[string]bool
+}
+
+func (ld *loader) load(dir string) (*Package, error) {
+	files, err := parseDir(ld.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := ld.mod
+	if rel != "." {
+		importPath = ld.mod + "/" + filepath.ToSlash(rel)
+	}
+	pkg := &Package{Dir: dir, ImportPath: importPath, Fset: ld.fset, Files: files}
+	// Type-check for precise identifier resolution. Failures (or partial
+	// errors) are not fatal: the rules degrade to AST-only import-table
+	// resolution, so the linter still runs on code that does not compile.
+	uses := map[*ast.Ident]types.Object{}
+	conf := types.Config{Importer: ld, Error: func(error) {}}
+	if _, cerr := conf.Check(importPath, ld.fset, files, &types.Info{Uses: uses}); cerr == nil {
+		pkg.Uses = uses
+	}
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal paths load recursively
+// from source, everything else defers to the stdlib source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	if path != ld.mod && !strings.HasPrefix(path, ld.mod+"/") {
+		return ld.std.Import(path)
+	}
+	if ld.loading == nil {
+		ld.loading = map[string]bool{}
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	dir := ld.root
+	if path != ld.mod {
+		dir = filepath.Join(ld.root, filepath.FromSlash(strings.TrimPrefix(path, ld.mod+"/")))
+	}
+	files, err := parseDir(ld.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: ld}
+	p, err := conf.Check(path, ld.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses every non-test Go file in dir (with comments, which carry
+// the //zkml:allow suppressions).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -14,6 +14,8 @@
 //	zkml verify -keys keys/ -in proof.bin     verify against the stored VK — no keygen
 //	zkml trace-check -in t.json               validate a trace report (CI smoke check)
 //	zkml trace-check -in t.json -max-rel-err 0.5   ... and gate on cost-model accuracy
+//	zkml audit -model mnist                   static soundness audit of the compiled circuit
+//	zkml audit -all -backend both -out a.json audit every bundled model, write the findings report
 //	zkml calibrate [-out calib.json]          benchmark this machine's cost profile
 //	zkml calibrate -fit                       ... and fit per-stage constants from traced proves
 package main
@@ -59,6 +61,8 @@ func main() {
 		err = cmdVerify(args)
 	case "trace-check":
 		err = cmdTraceCheck(args)
+	case "audit":
+		err = cmdAudit(args)
 	case "calibrate":
 		err = cmdCalibrate(args)
 	default:
@@ -72,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: zkml <models|export|optimize|keygen|prove|verify|trace-check|calibrate> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: zkml <models|export|optimize|keygen|prove|verify|trace-check|audit|calibrate> [flags]`)
 }
 
 func commonFlags(fs *flag.FlagSet) (modelName *string, backend *string, scaleBits, lookupBits, maxCols *int, seed *int64) {
@@ -464,6 +468,102 @@ func cmdVerify(args []string) error {
 	}
 	fmt.Printf("proof valid (verified in %v); outputs: %.4f\n",
 		time.Since(start).Round(time.Microsecond), sys.Outputs(proof))
+	return nil
+}
+
+// auditFileSchema tags the JSON payload written by `zkml audit -out`.
+const auditFileSchema = "zkml-audit/v1"
+
+// auditFile is the machine-readable findings report: one audit.Report per
+// (model, backend) pair audited.
+type auditFile struct {
+	Schema  string              `json:"schema"`
+	Reports []*zkml.AuditReport `json:"reports"`
+}
+
+// cmdAudit statically audits compiled circuits for soundness and liveness
+// defects before any keys exist: the optimizer picks the layout (priced with
+// the deterministic static calibration — no benchmark runs), the circuit is
+// synthesized, and the auditor scans it. Exits nonzero on any error-severity
+// finding, which is what `make audit-smoke` gates CI on.
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	name, backend, sb, lb, mc, seed := commonFlags(fs)
+	all := fs.Bool("all", false, "audit every bundled model")
+	out := fs.String("out", "", "write the JSON findings report to this file")
+	emitJSON := fs.Bool("json", false, "print the JSON findings report to stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	models := []string{*name}
+	if *all {
+		models = zkml.ModelNames()
+	}
+	backends := []string{*backend}
+	if *backend == "both" {
+		backends = []string{"kzg", "ipa"}
+	}
+
+	af := auditFile{Schema: auditFileSchema}
+	errors := 0
+	for _, m := range models {
+		spec, err := zkml.Model(m)
+		if err != nil {
+			return err
+		}
+		for _, bk := range backends {
+			o, err := optionsFrom(bk, *sb, *lb, *mc)
+			if err != nil {
+				return err
+			}
+			// Layout selection only ranks candidates here — nothing is
+			// proved — so the deterministic shape-derived calibration
+			// keeps the audit instant and machine-independent.
+			o.Calibration = costmodel.StaticCalibration()
+			rep, err := zkml.Audit(spec.Build(), spec.Input(*seed), o)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", m, bk, err)
+			}
+			af.Reports = append(af.Reports, rep)
+			errors += rep.Errors()
+			fmt.Println(rep.Summary())
+			for _, f := range rep.Findings {
+				loc := ""
+				if f.Col != "" {
+					loc = " " + f.Col
+					if f.Row >= 0 {
+						loc = fmt.Sprintf("%s@%d", loc, f.Row)
+					}
+				}
+				if f.Name != "" {
+					loc += " (" + f.Name + ")"
+				}
+				fmt.Printf("  [%s] %s%s: %s\n", f.Severity, f.Code, loc, f.Message)
+			}
+			for code, n := range rep.Truncated {
+				fmt.Printf("  ... %d further %s findings truncated\n", n, code)
+			}
+		}
+	}
+	if *out != "" || *emitJSON {
+		data, err := json.MarshalIndent(af, "", " ")
+		if err != nil {
+			return err
+		}
+		if *emitJSON {
+			fmt.Println(string(data))
+		}
+		if *out != "" {
+			if err := fsio.WriteFileAtomic(*out, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *out)
+		}
+	}
+	if errors > 0 {
+		return fmt.Errorf("audit found %d error-severity finding(s) across %d report(s)", errors, len(af.Reports))
+	}
+	fmt.Printf("audit clean: %d report(s), 0 errors\n", len(af.Reports))
 	return nil
 }
 

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/model"
+	"repro/internal/plonkish"
+)
+
+// Audit statically analyzes the plan's compiled circuit for soundness and
+// liveness defects (see internal/audit): unconstrained witness cells, dead
+// gates and selectors, malformed copy-constraint wiring, lookup coverage
+// gaps, and gate-degree overflow versus the quotient domain. keys, when
+// present, pin the check to the exact degree bound and extended domain the
+// proving key carries; nil derives them the way keygen would. in selects the
+// input whose synthesized witness is scanned (nil audits the plan's sample
+// input). The audit runs entirely before key generation — no commitment or
+// MSM work.
+func (p *Plan) Audit(keys *Keys, in *model.Input) (*audit.Report, error) {
+	if in == nil {
+		in = p.Sample
+	}
+	art, err := p.Synthesize(in)
+	if err != nil {
+		return nil, err
+	}
+	c := audit.Circuit{
+		CS:       art.CS,
+		N:        art.N,
+		Fixed:    art.Fixed,
+		Instance: art.Instance,
+		Model:    p.Graph.Name,
+		Backend:  strings.ToLower(p.Backend.String()),
+	}
+	if keys != nil && keys.PK != nil {
+		c.DMax = keys.PK.DMax
+		c.ExtN = keys.PK.ExtDomain.N
+	}
+	// Witness synthesis for the unconstrained-cell scan. Every compiled
+	// circuit today is single-phase; a multi-phase circuit would need
+	// squeezed challenges to fill phase 1, so its witness scan is skipped
+	// rather than run against fabricated challenge values.
+	if art.CS.NumChallenges == 0 {
+		a := plonkish.NewAssignment(art.CS, art.N)
+		if err := art.Witness.Fill(0, nil, a); err != nil {
+			return nil, err
+		}
+		c.Advice = a.Advice
+	}
+	return audit.Analyze(c)
+}

@@ -228,6 +228,35 @@ func Calibrate(minK, maxK int) *Calibration {
 // cached calibration file exists).
 func DefaultCalibration() *Calibration { return Calibrate(10, 13) }
 
+// StaticCalibration returns a deterministic, hardware-independent
+// calibration derived purely from the operations' asymptotic shape functions
+// at a nominal field-op cost — no benchmark runs, instant, identical on
+// every machine. Relative layout rankings follow the shapes; absolute times
+// are nominal. It backs paths where layout selection must be fast and
+// reproducible but proving never happens (the `zkml audit` CLI, tests); for
+// real proving-time estimates use Calibrate/LoadOrCalibrate.
+func StaticCalibration() *Calibration {
+	const fieldOp = 5e-9 // nominal multiply-add on a current core
+	c := &Calibration{
+		Hardware: "static",
+		FFT:      map[int]float64{},
+		MSM:      map[int]float64{},
+		MSMFixed: map[int]float64{},
+		Lookup:   map[int]float64{},
+		FieldOp:  fieldOp,
+	}
+	// Seed the tables from the same shape functions interp extrapolates
+	// with, so estimates are shape-exact at every k, and at the same
+	// per-op multipliers the Time* fallback floors use.
+	for k := 10; k <= 13; k++ {
+		c.FFT[k] = fftShape(k) * 2 * fieldOp
+		c.MSM[k] = msmShape(k) * 10 * fieldOp
+		c.MSMFixed[k] = fixedShape(k) * 10 * fieldOp
+		c.Lookup[k] = linearShape(k) * 10 * fieldOp
+	}
+	return c
+}
+
 // Save writes the calibration to a JSON file.
 func (c *Calibration) Save(path string) error {
 	b, err := json.MarshalIndent(c, "", " ")

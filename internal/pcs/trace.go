@@ -26,6 +26,6 @@ func recordOpen() func() {
 	if t == nil {
 		return func() {}
 	}
-	start := time.Now()
+	start := time.Now() //zkml:allow(determinism) — timing-only tracing; never feeds proof bytes
 	return func() { t.RecordOpen(time.Since(start)) }
 }

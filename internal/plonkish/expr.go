@@ -61,6 +61,12 @@ type Col struct {
 	Index int
 }
 
+// String renders the column as "kind[index]" (e.g. "advice[3]"), the
+// coordinate format the audit findings report uses.
+func (c Col) String() string {
+	return fmt.Sprintf("%s[%d]", c.Kind, c.Index)
+}
+
 // Query is a polynomial queried at a rotation: the value of the polynomial
 // at omega^Rot relative to the current row.
 type Query struct {
@@ -264,6 +270,17 @@ func Neg(e Expr) Expr {
 
 // Sub returns a - b.
 func Sub(a, b Expr) Expr { return Sum(a, Neg(b)) }
+
+// WalkExpr visits every node of an expression tree (the expression itself,
+// then its children, depth-first). External analysis passes — the audit's
+// coverage and degree walks — use it to traverse constraint expressions
+// without re-implementing the tree shape.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	e.walk(fn)
+}
 
 // CollectQueries returns the sorted set of (column, rotation) pairs
 // referenced by the expressions.

@@ -395,6 +395,16 @@ func compress(theta Expr, es []Expr) Expr {
 	return acc
 }
 
+// AllConstraints returns the full flattened constraint list the prover and
+// verifier enforce for a u-usable-row instantiation of this circuit: the
+// user gates followed by the lookup-argument and permutation-argument
+// constraints, in transcript order. Analysis passes (internal/audit) walk
+// this list to bound the quotient degree against exactly what the prover
+// will evaluate, argument machinery included.
+func (cs *CS) AllConstraints(u int) []Expr {
+	return buildConstraints(cs, u)
+}
+
 // ConstraintStats returns the number of flattened constraints and the total
 // expression-node count across them (gates plus lookup and permutation
 // argument constraints) — the field-operation volume the cost model charges

@@ -16,6 +16,7 @@ package zkml
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/ff"
@@ -240,6 +241,38 @@ func (s *System) CompareEstimate(r *obs.Report) []obs.StageComparison {
 // the input.
 func (s *System) Verify(p *Proof) error {
 	return s.Plan.Verify(s.Keys, p)
+}
+
+// AuditReport is the machine-readable result of the static circuit audit;
+// AuditFinding is one located defect (see internal/audit for the defect
+// taxonomy and severities).
+type (
+	AuditReport  = audit.Report
+	AuditFinding = audit.Finding
+)
+
+// Audit statically analyzes the compiled circuit for soundness and liveness
+// defects before any proof is made: unconstrained witness cells, gates and
+// lookups whose selectors are never set, malformed copy-constraint wiring,
+// lookup inputs whose statically-derivable range exceeds their table, and
+// constraint degrees that overflow the quotient domain. The check is pinned
+// to the exact degree bound and extended domain this system's proving key
+// uses. A report with Clean() == false means proofs from this system do not
+// enforce what the model graph claims.
+func (s *System) Audit() (*AuditReport, error) {
+	return s.Plan.Audit(s.Keys, nil)
+}
+
+// Audit compiles a model's layout (optimizer only — no key generation) and
+// runs the static circuit auditor over the synthesized circuit. This is the
+// pre-keygen gate: it catches a mis-wired layout before the expensive setup
+// and before any proof could silently enforce nothing.
+func Audit(g *Graph, sample *Input, o Options) (*AuditReport, error) {
+	plan, _, _, err := Optimize(g, sample, o)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Audit(nil, nil)
 }
 
 // Outputs dequantizes the public output values of a proof.
