@@ -15,8 +15,10 @@
 #   make daemon-smoke bring up the zkmld proving daemon, prove + verify over
 #                    HTTP, and assert the warm path does zero keygen/SRS
 #                    work while /stats surfaces the request trace
+#   make shard-smoke sharded (layer-wise) mnist prove + verify end to end on
+#                    both backends via the CLI (DESIGN.md §16)
 #   make bench-json  kernel + prover benchmark snapshot (with fitted
-#                    cost-model relative error) -> BENCH_8.json
+#                    cost-model relative error) -> BENCH_9.json
 #   make lint        zkml-lint over the whole module (fsio-atomic,
 #                    determinism, panic-decode; see DESIGN.md §15)
 #   make audit-smoke static circuit audit (`zkml audit`) of every bundled
@@ -39,9 +41,9 @@ FUZZ_TARGETS = \
 	./internal/curve/:FuzzGLVDecompose
 FUZZTIME ?= 5s
 
-.PHONY: ci vet build test race fuzz-smoke bench bench-smoke trace-smoke daemon-smoke bench-json lint audit-smoke
+.PHONY: ci vet build test race fuzz-smoke bench bench-smoke trace-smoke daemon-smoke shard-smoke bench-json lint audit-smoke
 
-ci: vet lint build test race audit-smoke fuzz-smoke bench-smoke trace-smoke daemon-smoke
+ci: vet lint build test race audit-smoke fuzz-smoke bench-smoke trace-smoke daemon-smoke shard-smoke
 
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
@@ -103,6 +105,18 @@ lint:
 audit-smoke:
 	$(GO) run ./cmd/zkml audit -all -backend both -scale-bits 5 -lookup-bits 9 -max-cols 16
 
+# Sharded proving smoke check (DESIGN.md §16): split mnist into 3 chunks,
+# prove the chunks in parallel, and verify the per-chunk proofs plus the
+# boundary-commitment chain — on both backends, through the exported proof
+# bytes, at the fast CI circuit parameters.
+shard-smoke:
+	@tmp=$$(mktemp -t zkml-shard.XXXXXX.bin); \
+	for b in kzg ipa; do \
+		echo "shard-smoke: backend $$b"; \
+		$(GO) run ./cmd/zkml prove -model mnist -shards 3 -backend $$b -scale-bits 5 -lookup-bits 9 -max-cols 16 -out $$tmp && \
+		$(GO) run ./cmd/zkml verify -model mnist -shards 3 -backend $$b -scale-bits 5 -lookup-bits 9 -max-cols 16 -in $$tmp || { rm -f $$tmp; exit 1; }; \
+	done; rm -f $$tmp
+
 # Committed perf-trajectory snapshot (see EXPERIMENTS.md and cmd/bench-snapshot).
 bench-json:
-	$(GO) run ./cmd/bench-snapshot -out BENCH_8.json
+	$(GO) run ./cmd/bench-snapshot -out BENCH_9.json

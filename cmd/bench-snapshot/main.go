@@ -41,6 +41,10 @@ type stageError struct {
 // v4 adds the amortized commitment engine: the generic MSM with GLV off
 // (the PR 3 kernel baseline), the table-warm fixed-base MSM, and the
 // per-backend commitment path cold (table built in the call) and warm.
+// v5 adds sharded layer-wise proving (DESIGN.md §16): the end-to-end
+// sharded prove (witness synthesis + parallel chunk proves) next to the
+// single-circuit prove measured at the same timing boundary, plus the
+// boundary-activation counts the sharded verifier re-checks.
 type snapshot struct {
 	Schema             string                           `json:"schema"`
 	FFTNs              map[string]int64                 `json:"fft_ns"`
@@ -49,6 +53,8 @@ type snapshot struct {
 	MSMFixedWarmNs     map[string]int64                 `json:"msm_fixed_warm_ns"`
 	CommitNs           map[string]int64                 `json:"commit_ns"`
 	ProveNs            map[string]int64                 `json:"prove_ns"`
+	ShardedProveNs     map[string]int64                 `json:"sharded_prove_ns"`
+	BoundaryElems      map[string]int                   `json:"boundary_elems"`
 	CostModel          map[string]map[string]stageError `json:"cost_model"`
 	CalibrationVersion int                              `json:"calibration_version"`
 	FitSweepProves     int                              `json:"fit_sweep_proves"`
@@ -197,19 +203,91 @@ func proveModel(name string, backend pcs.Backend, calib *costmodel.Calibration, 
 	return best, bestCmp, nil
 }
 
+// benchOptions is the shared circuit configuration for the prove rows: the
+// fast CI parameters used across the smoke targets.
+func benchOptions(backend pcs.Backend, calib *costmodel.Calibration) core.Options {
+	opt := core.DefaultOptions(backend, fixedpoint.Params{ScaleBits: 5, LookupBits: 9})
+	opt.MinCols, opt.MaxCols = 6, 16
+	opt.Calibration = calib
+	return opt
+}
+
+// proveSingleE2ENs times the unsharded prove at the same boundary as the
+// sharded one: witness synthesis plus proving, best of reps.
+func proveSingleE2ENs(name string, backend pcs.Backend, calib *costmodel.Calibration, reps int) (int64, error) {
+	spec, err := model.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	plan, _, _, err := core.Optimize(spec.Build(), spec.Input(1), benchOptions(backend, calib))
+	if err != nil {
+		return 0, err
+	}
+	keys, err := plan.Setup()
+	if err != nil {
+		return 0, err
+	}
+	best := int64(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		art, err := plan.Synthesize(spec.Input(2))
+		if err != nil {
+			return 0, err
+		}
+		if _, err := plonkish.Prove(keys.PK, art.Instance, art.Witness); err != nil {
+			return 0, err
+		}
+		if ns := time.Since(start).Nanoseconds(); best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+// proveShardedNs times the end-to-end sharded prove — sequential chunk
+// witness synthesis plus the parallel chunk proves — and reports the
+// boundary-activation count the verifier re-checks between chunks.
+func proveShardedNs(name string, backend pcs.Backend, shards int, calib *costmodel.Calibration, reps int) (int64, int, error) {
+	spec, err := model.Get(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	sp, err := core.OptimizeSharded(spec.Build(), spec.Input(1), shards, benchOptions(backend, calib))
+	if err != nil {
+		return 0, 0, err
+	}
+	keys, err := sp.Setup()
+	if err != nil {
+		return 0, 0, err
+	}
+	best := int64(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := sp.Prove(keys, spec.Input(2)); err != nil {
+			return 0, 0, err
+		}
+		if ns := time.Since(start).Nanoseconds(); best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, sp.Part.BoundaryElems, nil
+}
+
 func main() {
 	out := flag.String("out", "", "write JSON snapshot to this path (default stdout)")
 	reps := flag.Int("prove-reps", 2, "prove repetitions (minimum is reported)")
 	flag.Parse()
 
 	snap := snapshot{
-		Schema:         "zkml-bench-snapshot/v4",
+		Schema:         "zkml-bench-snapshot/v5",
 		FFTNs:          map[string]int64{},
 		MSMNs:          map[string]int64{},
 		MSMGLVOffNs:    map[string]int64{},
 		MSMFixedWarmNs: map[string]int64{},
 		CommitNs:       map[string]int64{},
 		ProveNs:        map[string]int64{},
+		ShardedProveNs: map[string]int64{},
+		BoundaryElems:  map[string]int{},
 		CostModel:      map[string]map[string]stageError{},
 	}
 	snap.Workers = 0 // default scheduling; recorded for reproducibility
@@ -283,6 +361,30 @@ func main() {
 	}
 	snap.ProveNs["mnist/KZG/engine-off"] = nsOff
 	fmt.Fprintf(os.Stderr, "mnist/KZG engine-off prove done\n")
+
+	// Sharded layer-wise proving vs the single circuit, both timed from
+	// witness synthesis through the finished proof(s) so the comparison is
+	// end to end (the sharded path pays boundary commitments but proves
+	// smaller circuits in parallel).
+	for _, backend := range []pcs.Backend{pcs.KZG, pcs.IPA} {
+		single, err := proveSingleE2ENs("mnist", backend, calib, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-snapshot: %s single e2e prove: %v\n", backend, err)
+			os.Exit(1)
+		}
+		snap.ShardedProveNs[fmt.Sprintf("mnist/%s/single", backend)] = single
+		for _, shards := range []int{2, 3} {
+			ns, boundary, err := proveShardedNs("mnist", backend, shards, calib, *reps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench-snapshot: %s sharded-%d prove: %v\n", backend, shards, err)
+				os.Exit(1)
+			}
+			key := fmt.Sprintf("mnist/%s/shards-%d", backend, shards)
+			snap.ShardedProveNs[key] = ns
+			snap.BoundaryElems[key] = boundary
+			fmt.Fprintf(os.Stderr, "%s done (single %dms, sharded %dms)\n", key, single/1e6, ns/1e6)
+		}
+	}
 
 	b, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -10,6 +10,8 @@
 //	zkml prove -model mnist [-seed 7]         compile, prove, verify one inference
 //	zkml prove -model mnist -keys keys/       same, loading (or filling) the key store
 //	zkml prove -model mnist -trace t.json     same, with a per-stage trace report
+//	zkml prove -model mnist -shards 3         sharded: split into 3 chunk circuits proved in parallel
+//	zkml verify -model mnist -shards 3 -in p  verify a serialized sharded proof chain
 //	zkml verify -model mnist -in proof.bin    verify a serialized proof (recompiles)
 //	zkml verify -keys keys/ -in proof.bin     verify against the stored VK — no keygen
 //	zkml trace-check -in t.json               validate a trace report (CI smoke check)
@@ -79,13 +81,14 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: zkml <models|export|optimize|keygen|prove|verify|trace-check|audit|calibrate> [flags]`)
 }
 
-func commonFlags(fs *flag.FlagSet) (modelName *string, backend *string, scaleBits, lookupBits, maxCols *int, seed *int64) {
+func commonFlags(fs *flag.FlagSet) (modelName *string, backend *string, scaleBits, lookupBits, maxCols *int, seed *int64, shards *int) {
 	modelName = fs.String("model", "mnist", "bundled model name (see `zkml models`)")
 	backend = fs.String("backend", "kzg", "commitment backend: kzg or ipa")
 	scaleBits = fs.Int("scale-bits", 6, "fixed-point scale bits")
 	lookupBits = fs.Int("lookup-bits", 10, "lookup table precision bits")
 	maxCols = fs.Int("max-cols", 24, "maximum advice columns to search")
 	seed = fs.Int64("seed", 1, "synthetic input seed")
+	shards = fs.Int("shards", 1, "split the model into N chunk circuits proved in parallel (sharded proving)")
 	fs.Func("parallelism", "proving worker count (default: GOMAXPROCS)", func(v string) error {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
@@ -150,7 +153,7 @@ func cmdExport(args []string) error {
 
 func cmdOptimize(args []string) error {
 	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
-	name, backend, sb, lb, mc, seed := commonFlags(fs)
+	name, backend, sb, lb, mc, seed, shards := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,6 +164,19 @@ func cmdOptimize(args []string) error {
 	o, err := optionsFrom(*backend, *sb, *lb, *mc)
 	if err != nil {
 		return err
+	}
+	if *shards > 1 {
+		sp, err := zkml.OptimizeSharded(spec.Build(), spec.Input(*seed), *shards, o)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sharded plan: %d chunks, %d boundary elems, est %.2fs, est proof %d B\n",
+			len(sp.Chunks), sp.Part.BoundaryElems, sp.Cost, sp.Size)
+		for c, p := range sp.Chunks {
+			fmt.Printf("  chunk %d: %d nodes, cols=%-3d rows=2^%-2d (%d used) dot=%-5s est=%8.3fs size=%6dB\n",
+				c, len(p.Graph.Nodes), p.Config.NumCols, p.K, p.UsedRows, p.Config.Dot, p.Cost, p.Size)
+		}
+		return nil
 	}
 	plan, cands, stats, err := zkml.Optimize(spec.Build(), spec.Input(*seed), o)
 	if err != nil {
@@ -184,7 +200,7 @@ func cmdOptimize(args []string) error {
 // verifies load it instead of re-running the optimizer and keygen.
 func cmdKeygen(args []string) error {
 	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
-	name, backend, sb, lb, mc, _ := commonFlags(fs)
+	name, backend, sb, lb, mc, _, shards := commonFlags(fs)
 	out := fs.String("out", "zkml-keys", "key store directory")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -198,6 +214,24 @@ func cmdKeygen(args []string) error {
 		return err
 	}
 	start := time.Now()
+	if *shards > 1 {
+		sys, err := zkml.CompileSharded(spec.Build(), spec.Input(1), *shards, o)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compiled in %v: %s", time.Since(start).Round(time.Millisecond), sys.Describe())
+		path, err := sys.Save(*out)
+		if err != nil {
+			return err
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes); reuse with: zkml prove -model %s -backend %s -scale-bits %d -lookup-bits %d -max-cols %d -shards %d -keys %s\n",
+			path, st.Size(), *name, *backend, *sb, *lb, *mc, *shards, *out)
+		return nil
+	}
 	sys, err := zkml.Compile(spec.Build(), spec.Input(1), o)
 	if err != nil {
 		return err
@@ -242,9 +276,82 @@ func loadOrCompile(keysDir string, spec model.Spec, o zkml.Options) (*zkml.Syste
 	return sys, nil
 }
 
+// loadOrCompileSharded is loadOrCompile for sharded systems: load the
+// persisted sharded artifact when present, else compile and fill the store.
+func loadOrCompileSharded(keysDir string, spec model.Spec, shards int, o zkml.Options) (*zkml.ShardedSystem, error) {
+	g, sample := spec.Build(), spec.Input(1)
+	if keysDir != "" {
+		sys, err := zkml.LoadShardedSystem(keysDir, g, sample, shards, o)
+		if err == nil {
+			return sys, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	sys, err := zkml.CompileSharded(g, sample, shards, o)
+	if err != nil {
+		return nil, err
+	}
+	if keysDir != "" {
+		if _, err := sys.Save(keysDir); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// proveSharded is the `zkml prove -shards N` path: compile (or load) the
+// per-chunk systems, prove the chunks in parallel, verify the chain, and
+// optionally export the sharded proof.
+func proveSharded(spec model.Spec, shards int, o zkml.Options, keysDir, out string, seed int64, name, backend string, sb, lb, mc int) error {
+	start := time.Now()
+	sys, err := loadOrCompileSharded(keysDir, spec, shards, o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ready in %v: %s", time.Since(start).Round(time.Millisecond), sys.Describe())
+
+	start = time.Now()
+	proof, err := sys.Prove(spec.Input(seed))
+	if err != nil {
+		return err
+	}
+	proofBytes := 0
+	for _, pf := range proof.Chunks {
+		proofBytes += pf.Proof.Size()
+	}
+	fmt.Printf("proved %d chunks in %v, proofs %d bytes total\n",
+		len(proof.Chunks), time.Since(start).Round(time.Millisecond), proofBytes)
+
+	start = time.Now()
+	if err := sys.Verify(proof); err != nil {
+		return err
+	}
+	fmt.Printf("verified in %v\n", time.Since(start).Round(time.Microsecond))
+	if out != "" {
+		data, err := sys.ExportProof(proof)
+		if err != nil {
+			return err
+		}
+		if err := fsio.WriteFileAtomic(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes); check with: zkml verify -model %s -backend %s -scale-bits %d -lookup-bits %d -max-cols %d -shards %d -in %s\n",
+			out, len(data), name, backend, sb, lb, mc, shards, out)
+	}
+	outs := sys.Outputs(proof)
+	limit := len(outs)
+	if limit > 16 {
+		limit = 16
+	}
+	fmt.Printf("public outputs (%d values): %.4f\n", len(outs), outs[:limit])
+	return nil
+}
+
 func cmdProve(args []string) error {
 	fs := flag.NewFlagSet("prove", flag.ExitOnError)
-	name, backend, sb, lb, mc, seed := commonFlags(fs)
+	name, backend, sb, lb, mc, seed, shards := commonFlags(fs)
 	out := fs.String("out", "", "write the serialized proof to this file")
 	tracePath := fs.String("trace", "", "write a per-stage trace report (JSON) to this file")
 	keysDir := fs.String("keys", "", "key store directory (from `zkml keygen`); filled on first use")
@@ -258,6 +365,12 @@ func cmdProve(args []string) error {
 	o, err := optionsFrom(*backend, *sb, *lb, *mc)
 	if err != nil {
 		return err
+	}
+	if *shards > 1 {
+		if *tracePath != "" {
+			return fmt.Errorf("-trace is not supported with -shards > 1 (stage tracing is per-circuit)")
+		}
+		return proveSharded(spec, *shards, o, *keysDir, *out, *seed, *name, *backend, *sb, *lb, *mc)
 	}
 	start := time.Now()
 	sys, err := loadOrCompile(*keysDir, spec, o)
@@ -425,9 +538,43 @@ func verifierSystem(keysDir string, spec model.Spec, o zkml.Options) (*zkml.Syst
 	return zkml.Compile(spec.Build(), spec.Input(1), o)
 }
 
+// verifySharded is the `zkml verify -shards N` path.
+func verifySharded(spec model.Spec, shards int, o zkml.Options, keysDir string, data []byte) error {
+	var sys *zkml.ShardedSystem
+	var err error
+	if keysDir != "" {
+		sys, err = zkml.LoadShardedVerifier(keysDir, spec.Build(), spec.Input(1), shards, o)
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("key store has no sharded artifact for this model/options; run `zkml keygen -shards %d` first: %w", shards, err)
+		}
+	} else {
+		sys, err = zkml.CompileSharded(spec.Build(), spec.Input(1), shards, o)
+	}
+	if err != nil {
+		return err
+	}
+	proof, err := sys.ImportProof(data)
+	if err != nil {
+		if errors.Is(err, zkml.ErrMalformedProof) {
+			return fmt.Errorf("proof MALFORMED: %w", err)
+		}
+		return err
+	}
+	start := time.Now()
+	if err := sys.Verify(proof); err != nil {
+		if errors.Is(err, zkml.ErrMalformedProof) {
+			return fmt.Errorf("proof MALFORMED: %w", err)
+		}
+		return fmt.Errorf("proof INVALID: %w", err)
+	}
+	fmt.Printf("sharded proof valid (%d chunks, verified in %v); outputs: %.4f\n",
+		sys.Shards(), time.Since(start).Round(time.Microsecond), sys.Outputs(proof))
+	return nil
+}
+
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
-	name, backend, sb, lb, mc, _ := commonFlags(fs)
+	name, backend, sb, lb, mc, _, shards := commonFlags(fs)
 	in := fs.String("in", "", "serialized proof file (from `zkml prove -out`)")
 	keysDir := fs.String("keys", "", "key store directory (from `zkml keygen`); skips the recompile")
 	if err := fs.Parse(args); err != nil {
@@ -443,6 +590,13 @@ func cmdVerify(args []string) error {
 	o, err := optionsFrom(*backend, *sb, *lb, *mc)
 	if err != nil {
 		return err
+	}
+	if *shards > 1 {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		return verifySharded(spec, *shards, o, *keysDir, data)
 	}
 	sys, err := verifierSystem(*keysDir, spec, o)
 	if err != nil {
@@ -488,7 +642,7 @@ type auditFile struct {
 // finding, which is what `make audit-smoke` gates CI on.
 func cmdAudit(args []string) error {
 	fs := flag.NewFlagSet("audit", flag.ExitOnError)
-	name, backend, sb, lb, mc, seed := commonFlags(fs)
+	name, backend, sb, lb, mc, seed, shards := commonFlags(fs)
 	all := fs.Bool("all", false, "audit every bundled model")
 	out := fs.String("out", "", "write the JSON findings report to this file")
 	emitJSON := fs.Bool("json", false, "print the JSON findings report to stdout")
@@ -520,28 +674,24 @@ func cmdAudit(args []string) error {
 			// proved — so the deterministic shape-derived calibration
 			// keeps the audit instant and machine-independent.
 			o.Calibration = costmodel.StaticCalibration()
-			rep, err := zkml.Audit(spec.Build(), spec.Input(*seed), o)
-			if err != nil {
-				return fmt.Errorf("%s/%s: %w", m, bk, err)
-			}
-			af.Reports = append(af.Reports, rep)
-			errors += rep.Errors()
-			fmt.Println(rep.Summary())
-			for _, f := range rep.Findings {
-				loc := ""
-				if f.Col != "" {
-					loc = " " + f.Col
-					if f.Row >= 0 {
-						loc = fmt.Sprintf("%s@%d", loc, f.Row)
-					}
+			var reps []*zkml.AuditReport
+			if *shards > 1 {
+				reps, err = zkml.AuditSharded(spec.Build(), spec.Input(*seed), *shards, o)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", m, bk, err)
 				}
-				if f.Name != "" {
-					loc += " (" + f.Name + ")"
+			} else {
+				rep, err := zkml.Audit(spec.Build(), spec.Input(*seed), o)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", m, bk, err)
 				}
-				fmt.Printf("  [%s] %s%s: %s\n", f.Severity, f.Code, loc, f.Message)
+				reps = []*zkml.AuditReport{rep}
 			}
-			for code, n := range rep.Truncated {
-				fmt.Printf("  ... %d further %s findings truncated\n", n, code)
+			for _, rep := range reps {
+				af.Reports = append(af.Reports, rep)
+				errors += rep.Errors()
+				fmt.Println(rep.Summary())
+				printAuditFindings(rep)
 			}
 		}
 	}
@@ -565,6 +715,26 @@ func cmdAudit(args []string) error {
 	}
 	fmt.Printf("audit clean: %d report(s), 0 errors\n", len(af.Reports))
 	return nil
+}
+
+// printAuditFindings prints one report's findings (and truncation notes).
+func printAuditFindings(rep *zkml.AuditReport) {
+	for _, f := range rep.Findings {
+		loc := ""
+		if f.Col != "" {
+			loc = " " + f.Col
+			if f.Row >= 0 {
+				loc = fmt.Sprintf("%s@%d", loc, f.Row)
+			}
+		}
+		if f.Name != "" {
+			loc += " (" + f.Name + ")"
+		}
+		fmt.Printf("  [%s] %s%s: %s\n", f.Severity, f.Code, loc, f.Message)
+	}
+	for code, n := range rep.Truncated {
+		fmt.Printf("  ... %d further %s findings truncated\n", n, code)
+	}
 }
 
 func cmdCalibrate(args []string) error {

@@ -21,7 +21,7 @@ func main() {
 	maxCols := fs.Int("max-cols", 24, "maximum advice columns to search")
 	maxInflight := fs.Int("max-inflight", 2, "maximum concurrent proves before shedding (429)")
 	timeout := fs.Duration("timeout", 10*time.Minute, "per-request prove deadline")
-	preload := fs.String("preload", "", "comma-separated models to load at startup")
+	preload := fs.String("preload", "", "comma-separated models to load at startup (use model@N for a sharded system)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -49,8 +49,16 @@ func main() {
 		if name == "" {
 			continue
 		}
+		shards := 1
+		if base, n, ok := strings.Cut(name, "@"); ok {
+			if _, err := fmt.Sscanf(n, "%d", &shards); err != nil || shards < 1 {
+				fmt.Fprintf(os.Stderr, "zkmld: preload %s: bad shard count %q\n", name, n)
+				os.Exit(1)
+			}
+			name = base
+		}
 		start := time.Now()
-		e, err := srv.system(name)
+		e, err := srv.system(name, shards)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "zkmld: preload %s: %v\n", name, err)
 			os.Exit(1)

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,12 +74,24 @@ func (c config) withDefaults() config {
 type modelEntry struct {
 	once sync.Once
 
-	sys     *zkml.System
+	sys     *zkml.System        // single-circuit system (shards <= 1)
+	ssys    *zkml.ShardedSystem // sharded system (shards > 1)
 	err     error
 	hash    string
 	source  string // "store" or "compiled"
 	loadDur time.Duration
 	setup   pcs.SetupWork // setup work the load performed
+}
+
+// loaded reports whether the entry holds a usable system of either kind.
+func (e *modelEntry) loaded() bool { return e.sys != nil || e.ssys != nil }
+
+// describe summarizes whichever system the entry holds.
+func (e *modelEntry) describe() string {
+	if e.ssys != nil {
+		return e.ssys.Describe()
+	}
+	return e.sys.Describe()
 }
 
 // requestRecord is one finished request as surfaced by /stats.
@@ -145,49 +159,91 @@ func (s *server) entry(name string) *modelEntry {
 	return e
 }
 
-// system returns the compiled system for a model, loading it on first use:
-// from the artifact store when possible (deserialize, zero keygen), else by
-// compiling once — and filling the store so the next daemon start is warm.
-func (s *server) system(name string) (*modelEntry, error) {
+// system returns the compiled system for (model, shards), loading it on
+// first use: from the artifact store when possible (deserialize, zero
+// keygen), else by compiling once — and filling the store so the next
+// daemon start is warm. shards > 1 loads a sharded system under its own
+// cache key ("model@shards"), so the same model served plain and sharded
+// coexist warm.
+func (s *server) system(name string, shards int) (*modelEntry, error) {
 	spec, err := zkml.Model(name)
 	if err != nil {
 		return nil, err
 	}
-	e := s.entry(name)
+	key := name
+	if shards > 1 {
+		key = fmt.Sprintf("%s@%d", name, shards)
+	}
+	e := s.entry(key)
 	e.once.Do(func() {
 		start := time.Now()
 		before := pcs.SetupWorkSnapshot()
 		g, sample := spec.Build(), spec.Input(1)
-		if s.cfg.KeysDir != "" {
-			if sys, err := zkml.LoadSystem(s.cfg.KeysDir, g, sample, s.cfg.Options); err == nil {
-				e.sys, e.source = sys, "store"
-			} else if !errors.Is(err, os.ErrNotExist) {
-				e.err = err
-			}
-		}
-		if e.sys == nil && e.err == nil {
-			sys, err := zkml.Compile(g, sample, s.cfg.Options)
-			if err != nil {
-				e.err = err
-			} else {
-				e.sys, e.source = sys, "compiled"
-				if s.cfg.KeysDir != "" {
-					if _, err := sys.Save(s.cfg.KeysDir); err != nil {
-						e.err = err
-					}
-				}
-			}
+		if shards > 1 {
+			s.loadSharded(e, g, sample, shards)
+		} else {
+			s.loadSingle(e, g, sample)
 		}
 		e.loadDur = time.Since(start)
 		e.setup = pcs.SetupWorkSnapshot().Sub(before)
 		if e.sys != nil {
 			e.hash = fmt.Sprintf("%x", e.sys.ModelCommitment())
+		} else if e.ssys != nil {
+			e.hash = fmt.Sprintf("%x", e.ssys.ModelCommitment())
 		}
 	})
 	if e.err != nil {
 		return nil, e.err
 	}
 	return e, nil
+}
+
+// loadSingle fills an entry with a single-circuit system.
+func (s *server) loadSingle(e *modelEntry, g *zkml.Graph, sample *zkml.Input) {
+	if s.cfg.KeysDir != "" {
+		if sys, err := zkml.LoadSystem(s.cfg.KeysDir, g, sample, s.cfg.Options); err == nil {
+			e.sys, e.source = sys, "store"
+		} else if !errors.Is(err, os.ErrNotExist) {
+			e.err = err
+		}
+	}
+	if e.sys == nil && e.err == nil {
+		sys, err := zkml.Compile(g, sample, s.cfg.Options)
+		if err != nil {
+			e.err = err
+		} else {
+			e.sys, e.source = sys, "compiled"
+			if s.cfg.KeysDir != "" {
+				if _, err := sys.Save(s.cfg.KeysDir); err != nil {
+					e.err = err
+				}
+			}
+		}
+	}
+}
+
+// loadSharded fills an entry with a sharded system.
+func (s *server) loadSharded(e *modelEntry, g *zkml.Graph, sample *zkml.Input, shards int) {
+	if s.cfg.KeysDir != "" {
+		if sys, err := zkml.LoadShardedSystem(s.cfg.KeysDir, g, sample, shards, s.cfg.Options); err == nil {
+			e.ssys, e.source = sys, "store"
+		} else if !errors.Is(err, os.ErrNotExist) {
+			e.err = err
+		}
+	}
+	if e.ssys == nil && e.err == nil {
+		sys, err := zkml.CompileSharded(g, sample, shards, s.cfg.Options)
+		if err != nil {
+			e.err = err
+		} else {
+			e.ssys, e.source = sys, "compiled"
+			if s.cfg.KeysDir != "" {
+				if _, err := sys.Save(s.cfg.KeysDir); err != nil {
+					e.err = err
+				}
+			}
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -234,14 +290,33 @@ func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 	out := []modelInfo{}
 	for _, name := range zkml.ModelNames() {
 		info := modelInfo{Name: name}
-		if e, ok := entries[name]; ok && e.sys != nil {
+		if e, ok := entries[name]; ok && e.loaded() {
 			info.Loaded = true
 			info.Source = e.source
 			info.Hash = e.hash
-			info.Desc = e.sys.Describe()
+			info.Desc = e.describe()
 			info.LoadSec = e.loadDur.Seconds()
 		}
 		out = append(out, info)
+	}
+	// Sharded systems are cached under "model@shards" keys; list them after
+	// the bundled models, in sorted order for a stable response.
+	shardKeys := make([]string, 0, len(entries))
+	for key := range entries {
+		if strings.Contains(key, "@") {
+			shardKeys = append(shardKeys, key)
+		}
+	}
+	sort.Strings(shardKeys)
+	for _, key := range shardKeys {
+		e := entries[key]
+		if !e.loaded() {
+			continue
+		}
+		out = append(out, modelInfo{
+			Name: key, Loaded: true, Source: e.source, Hash: e.hash,
+			Desc: e.describe(), LoadSec: e.loadDur.Seconds(),
+		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"models": out})
 }
@@ -269,12 +344,17 @@ type proveRequest struct {
 	Model string `json:"model"`
 	Seed  int64  `json:"seed"`
 	Trace bool   `json:"trace"`
+	// Shards > 1 proves through a sharded system: the model is split into
+	// that many chunk circuits proved in parallel, with committed boundary
+	// activations linking them. Incompatible with Trace.
+	Shards int `json:"shards,omitempty"`
 }
 
 type proveResponse struct {
 	Model     string        `json:"model"`
 	ModelHash string        `json:"model_hash"`
 	Seed      int64         `json:"seed"`
+	Shards    int           `json:"shards,omitempty"`
 	Proof     string        `json:"proof"` // base64 of ExportProof
 	Outputs   []float64     `json:"outputs"`
 	ProveSecs float64       `json:"prove_s"`
@@ -299,6 +379,10 @@ func (s *server) handleProve(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Model == "" {
 		writeErr(w, http.StatusBadRequest, "missing model")
+		return
+	}
+	if req.Trace && req.Shards > 1 {
+		writeErr(w, http.StatusBadRequest, "trace is not supported with shards > 1 (stage tracing is per-circuit)")
 		return
 	}
 	// Admission control: CPU-bound proves don't queue, they shed.
@@ -349,7 +433,7 @@ func (s *server) prove(req proveRequest) proveResult {
 	// The setup-work window covers the whole request, including the system
 	// load: a warm request must report zero keygen/SRS work end to end.
 	setupBefore := pcs.SetupWorkSnapshot()
-	e, err := s.system(req.Model)
+	e, err := s.system(req.Model, req.Shards)
 	if err != nil {
 		return fail(http.StatusBadRequest, "model %q: %v", req.Model, err)
 	}
@@ -359,34 +443,59 @@ func (s *server) prove(req proveRequest) proveResult {
 	}
 	in := spec.Input(req.Seed)
 
-	var proof *zkml.Proof
 	var rep *obs.Report
-	proveStart := time.Now()
-	if req.Trace {
-		// Traced proves own the process-wide kernel sinks exclusively.
-		s.traceMu.Lock()
-		proof, rep, err = e.sys.ProveTraced(in)
-		s.traceMu.Unlock()
-	} else {
+	var data []byte
+	var outputs []float64
+	var proveDur time.Duration
+	if req.Shards > 1 {
+		// Sharded proves fan their chunks out through the same process-wide
+		// worker pool, so they share the untraced (read) side of the lock.
+		proveStart := time.Now()
 		s.traceMu.RLock()
-		proof, err = e.sys.Prove(in)
+		proof, perr := e.ssys.Prove(in)
 		s.traceMu.RUnlock()
+		proveDur = time.Since(proveStart)
+		if perr == nil {
+			data, perr = e.ssys.ExportProof(proof)
+			outputs = e.ssys.Outputs(proof)
+		}
+		err = perr
+	} else if req.Trace {
+		// Traced proves own the process-wide kernel sinks exclusively.
+		proveStart := time.Now()
+		s.traceMu.Lock()
+		proof, trep, perr := e.sys.ProveTraced(in)
+		s.traceMu.Unlock()
+		proveDur = time.Since(proveStart)
+		rep = trep
+		if perr == nil {
+			data, perr = e.sys.ExportProof(proof)
+			outputs = e.sys.Outputs(proof)
+		}
+		err = perr
+	} else {
+		proveStart := time.Now()
+		s.traceMu.RLock()
+		proof, perr := e.sys.Prove(in)
+		s.traceMu.RUnlock()
+		proveDur = time.Since(proveStart)
+		if perr == nil {
+			data, perr = e.sys.ExportProof(proof)
+			outputs = e.sys.Outputs(proof)
+		}
+		err = perr
 	}
-	proveDur := time.Since(proveStart)
 	setup := pcs.SetupWorkSnapshot().Sub(setupBefore)
 	if err != nil {
 		return fail(http.StatusInternalServerError, "prove: %v", err)
-	}
-	data, err := e.sys.ExportProof(proof)
-	if err != nil {
-		return fail(http.StatusInternalServerError, "export: %v", err)
 	}
 	resp := &proveResponse{
 		Model:     req.Model,
 		ModelHash: e.hash,
 		Seed:      req.Seed,
+		Shards:    req.Shards,
 		Proof:     base64.StdEncoding.EncodeToString(data),
-		Outputs:   e.sys.Outputs(proof),
+		Outputs:   outputs,
 		ProveSecs: proveDur.Seconds(),
 		Source:    e.source,
 		SetupWork: setup,
@@ -404,6 +513,9 @@ func (s *server) prove(req proveRequest) proveResult {
 type verifyRequest struct {
 	Model string `json:"model"`
 	Proof string `json:"proof"` // base64 of ExportProof bytes
+	// Shards > 1 verifies a sharded proof chain against the matching
+	// sharded system.
+	Shards int `json:"shards,omitempty"`
 }
 
 func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
@@ -433,22 +545,37 @@ func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		finish(http.StatusBadRequest, nil, fmt.Sprintf("proof is not valid base64: %v", err))
 		return
 	}
-	e, err := s.system(req.Model)
+	e, err := s.system(req.Model, req.Shards)
 	if err != nil {
 		finish(http.StatusBadRequest, nil, fmt.Sprintf("model %q: %v", req.Model, err))
 		return
 	}
-	proof, err := e.sys.ImportProof(data)
-	if err != nil {
-		finish(http.StatusBadRequest, nil, fmt.Sprintf("malformed proof: %v", err))
-		return
-	}
-	if err := e.sys.Verify(proof); err != nil {
-		finish(http.StatusOK, map[string]any{"valid": false, "reason": err.Error()}, "")
-		return
+	var outputs []float64
+	if req.Shards > 1 {
+		proof, err := e.ssys.ImportProof(data)
+		if err != nil {
+			finish(http.StatusBadRequest, nil, fmt.Sprintf("malformed proof: %v", err))
+			return
+		}
+		if err := e.ssys.Verify(proof); err != nil {
+			finish(http.StatusOK, map[string]any{"valid": false, "reason": err.Error()}, "")
+			return
+		}
+		outputs = e.ssys.Outputs(proof)
+	} else {
+		proof, err := e.sys.ImportProof(data)
+		if err != nil {
+			finish(http.StatusBadRequest, nil, fmt.Sprintf("malformed proof: %v", err))
+			return
+		}
+		if err := e.sys.Verify(proof); err != nil {
+			finish(http.StatusOK, map[string]any{"valid": false, "reason": err.Error()}, "")
+			return
+		}
+		outputs = e.sys.Outputs(proof)
 	}
 	finish(http.StatusOK, map[string]any{
 		"valid": true, "model": req.Model, "model_hash": e.hash,
-		"outputs": e.sys.Outputs(proof),
+		"shards": req.Shards, "outputs": outputs,
 	}, "")
 }

@@ -3,8 +3,8 @@ package audit_test
 import (
 	"testing"
 
-	"repro/internal/costmodel"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/fixedpoint"
 	"repro/internal/model"
 	"repro/internal/pcs"

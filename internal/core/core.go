@@ -201,9 +201,15 @@ func score(c *Candidate, obj Objective) float64 {
 }
 
 // price estimates the cost of a simulated layout (EstimateCost in
-// Algorithm 1).
+// Algorithm 1) at the minimal grid that fits.
 func price(b *gadgets.Builder, cfg gadgets.Config, opt Options) (*Candidate, error) {
-	n := b.MinN()
+	return priceAt(b, cfg, b.MinN(), opt)
+}
+
+// priceAt finalizes the simulated circuit at an explicit grid height n and
+// prices it there, so the layout, cost, and size all describe the same
+// domain the keys and proofs will use.
+func priceAt(b *gadgets.Builder, cfg gadgets.Config, n int, opt Options) (*Candidate, error) {
 	k := bits.TrailingZeros(uint(n))
 	art, err := b.Finalize(n)
 	if err != nil {
@@ -242,18 +248,30 @@ func PlanFor(g *model.Graph, sample *model.Input, cfg gadgets.Config, backend pc
 }
 
 // PlanAt is PlanFor with an explicit grid height n >= the minimum (used to
-// pin a fixed number of rows, e.g. Table 10's fixed configuration).
+// pin a fixed number of rows, e.g. Table 10's fixed configuration). The
+// layout, cost, and size are all re-derived at the pinned grid, so the plan
+// is priced, audited, and CompareEstimate'd against the domain it actually
+// proves on.
 func PlanAt(g *model.Graph, sample *model.Input, cfg gadgets.Config, n int, backend pcs.Backend, calib *costmodel.Calibration) (*Plan, error) {
-	p, err := PlanFor(g, sample, cfg, backend, calib)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("core: pinned row count %d is not a power of two", n)
+	}
+	b, _, err := g.BuildCircuit(cfg, sample)
 	if err != nil {
 		return nil, err
 	}
-	if n < p.N {
-		return nil, fmt.Errorf("core: %d rows below minimum %d", n, p.N)
+	if n < b.MinN() {
+		return nil, fmt.Errorf("core: %d rows below minimum %d", n, b.MinN())
 	}
-	p.N = n
-	p.K = bits.TrailingZeros(uint(n))
-	return p, nil
+	opt := Options{Backend: backend, Calibration: calib}
+	cand, err := priceAt(b, cfg, n, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Graph: g, Sample: sample, Candidate: *cand, Backend: backend, Calibration: calib}, nil
 }
 
 // LayoutOf summarizes a constraint system as a cost-model layout.

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+)
+
+// Sharded artifact file format (DESIGN.md §16): a container around one
+// single-circuit artifact per chunk, so a sharded system cold-starts the
+// same way a single-circuit one does — deserialize, re-synthesize, check
+// digests — with no optimizer sweep and no keygen.
+//
+//	magic "ZKMLSRD\x01", then
+//	meta:    full-model hash (32 B) + options fingerprint (32 B)
+//	shards:  chunk count (u32)
+//	chunks:  per chunk, u32 length + a complete EncodeArtifact blob
+//
+// Each nested chunk artifact's meta hashes the CHUNK graph, whose name
+// embeds "#index/shards" — so a chunk blob cannot be replayed at a
+// different position or under a different shard count without failing the
+// model-hash check at instantiation. The partitioning itself is never
+// serialized: it is a pure function of (graph, shards) and is recomputed,
+// which leaves nothing in the file for a tamperer to redirect.
+
+var shardedArtifactMagic = [8]byte{'Z', 'K', 'M', 'L', 'S', 'R', 'D', 1}
+
+// maxArtifactShards caps the decoded chunk count before any allocation.
+// Partition enforces shards <= node count anyway; this bound just keeps
+// hostile bytes from requesting absurd slice sizes.
+const maxArtifactShards = 4096
+
+// ShardedArtifactFile is a decoded sharded artifact: the container meta
+// plus one fully decoded single-circuit artifact per chunk.
+type ShardedArtifactFile struct {
+	Meta   ArtifactMeta
+	Shards int
+	Chunks []*ArtifactFile
+}
+
+// EncodeShardedArtifact serializes a sharded plan and its per-chunk keys.
+// meta carries the FULL model's hash and the options fingerprint; each
+// chunk blob is stamped with its own chunk-graph hash internally.
+func EncodeShardedArtifact(meta ArtifactMeta, sp *ShardedPlan, keys *ShardedKeys) ([]byte, error) {
+	if sp == nil || len(sp.Chunks) == 0 {
+		return nil, fmt.Errorf("core: encoding a sharded artifact requires a compiled sharded plan")
+	}
+	if keys == nil || len(keys.Chunks) != len(sp.Chunks) {
+		return nil, fmt.Errorf("core: sharded keys carry %d chunks, plan has %d", keyCount(keys), len(sp.Chunks))
+	}
+	var buf bytes.Buffer
+	buf.Write(shardedArtifactMagic[:])
+	buf.Write(meta.ModelHash[:])
+	buf.Write(meta.Options[:])
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(sp.Chunks)))
+	buf.Write(n[:])
+	for c, plan := range sp.Chunks {
+		chunkHash, err := ModelHash(plan.Graph)
+		if err != nil {
+			return nil, err
+		}
+		chunkMeta := ArtifactMeta{ModelHash: chunkHash, Options: meta.Options}
+		blob, err := EncodeArtifact(chunkMeta, plan, keys.Chunks[c])
+		if err != nil {
+			return nil, fmt.Errorf("core: chunk %d: %w", c, err)
+		}
+		binary.BigEndian.PutUint32(n[:], uint32(len(blob)))
+		buf.Write(n[:])
+		buf.Write(blob)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeShardedArtifact parses sharded artifact bytes. The input is
+// untrusted: every length prefix is capped by the bytes remaining, each
+// chunk goes through the hardened single-circuit decoder, and structural
+// failures wrap zkerrors.ErrMalformedArtifact.
+func DecodeShardedArtifact(data []byte) (*ShardedArtifactFile, error) {
+	r := bytes.NewReader(data)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != shardedArtifactMagic {
+		return nil, errArtifact("bad sharded artifact magic")
+	}
+	af := &ShardedArtifactFile{}
+	if _, err := io.ReadFull(r, af.Meta.ModelHash[:]); err != nil {
+		return nil, errArtifact("truncated model hash")
+	}
+	if _, err := io.ReadFull(r, af.Meta.Options[:]); err != nil {
+		return nil, errArtifact("truncated options fingerprint")
+	}
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, errArtifact("truncated shard count")
+	}
+	af.Shards = int(binary.BigEndian.Uint32(n[:]))
+	if af.Shards < 1 || af.Shards > maxArtifactShards {
+		return nil, errArtifact("shard count %d out of range", af.Shards)
+	}
+	af.Chunks = make([]*ArtifactFile, 0, af.Shards)
+	for c := 0; c < af.Shards; c++ {
+		if _, err := io.ReadFull(r, n[:]); err != nil {
+			return nil, errArtifact("truncated chunk %d length", c)
+		}
+		l := int(binary.BigEndian.Uint32(n[:]))
+		if l > r.Len() {
+			return nil, errArtifact("chunk %d claims %d bytes with %d left", c, l, r.Len())
+		}
+		blob := make([]byte, l)
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return nil, errArtifact("truncated chunk %d", c)
+		}
+		chunk, err := DecodeArtifact(blob)
+		if err != nil {
+			return nil, fmt.Errorf("core: chunk %d: %w", c, err)
+		}
+		af.Chunks = append(af.Chunks, chunk)
+	}
+	if r.Len() != 0 {
+		return nil, errArtifact("%d trailing sharded artifact bytes", r.Len())
+	}
+	return af, nil
+}
+
+// instantiate rebuilds the sharded plan and keys. The partitioning is
+// recomputed from (g, sample, shards); each chunk artifact's stored model
+// hash must match the recomputed chunk graph, which pins chunk identity,
+// position, and shard count. Chunk instantiation is sequential because
+// each chunk's sample input needs the previous chunks' boundary
+// activations.
+func (af *ShardedArtifactFile) instantiate(g *model.Graph, sample *model.Input, verifyOnly bool) (*ShardedPlan, *ShardedKeys, error) {
+	part, err := model.Partition(g, sample, af.Shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(part.Chunks) != len(af.Chunks) {
+		return nil, nil, errArtifact("artifact has %d chunks, partitioning produced %d", len(af.Chunks), len(part.Chunks))
+	}
+	sp := &ShardedPlan{Graph: g, Sample: sample, Part: part}
+	keys := &ShardedKeys{Chunks: make([]*Keys, len(af.Chunks))}
+	boundary := map[string][]int64{}
+	for c, ca := range af.Chunks {
+		cg := part.Chunks[c].Graph
+		chunkHash, err := ModelHash(cg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ca.Meta.ModelHash != chunkHash {
+			return nil, nil, errArtifact("chunk %d artifact was built for a different chunk graph", c)
+		}
+		cin, err := part.ChunkInput(c, sample, boundary)
+		if err != nil {
+			return nil, nil, err
+		}
+		var plan *Plan
+		var k *Keys
+		if verifyOnly {
+			plan, k, err = ca.InstantiateVerifier(cg, cin)
+		} else {
+			plan, k, err = ca.Instantiate(cg, cin)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: chunk %d: %w", c, err)
+		}
+		sp.Chunks = append(sp.Chunks, plan)
+		keys.Chunks[c] = k
+		sp.Backend = plan.Backend
+		sp.Cost += plan.Cost
+		sp.Size += plan.Size
+		if err := collectBoundary(cg, plan.Config, cin, boundary); err != nil {
+			return nil, nil, fmt.Errorf("core: chunk %d: %w", c, err)
+		}
+	}
+	sp.Size += 64 * part.BoundaryElems
+	return sp, keys, nil
+}
+
+// Instantiate rebuilds a full sharded proving system from the artifact —
+// per-chunk circuits re-synthesized, keys assembled from stored material,
+// no optimizer sweep and no keygen.
+func (af *ShardedArtifactFile) Instantiate(g *model.Graph, sample *model.Input) (*ShardedPlan, *ShardedKeys, error) {
+	return af.instantiate(g, sample, false)
+}
+
+// InstantiateVerifier rebuilds a verification-only sharded system: chunk
+// keys carry only the verifying side and no proving-key interpolation or
+// MSM work happens.
+func (af *ShardedArtifactFile) InstantiateVerifier(g *model.Graph, sample *model.Input) (*ShardedPlan, *ShardedKeys, error) {
+	return af.instantiate(g, sample, true)
+}

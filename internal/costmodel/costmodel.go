@@ -637,3 +637,30 @@ func (l Layout) EstimateProofSize() int {
 	}
 	return size
 }
+
+// EstimateShardedTime prices a sharded plan (DESIGN.md §16): the sum of
+// every chunk's fitted stage predictions — chunks prove on separate,
+// strictly smaller domains, so the sum is the total prover work and the
+// per-chunk terms are what parallel chunk proving overlaps — plus the
+// boundary-commitment overhead. Every boundary activation is committed
+// twice (once in the producer's instance column, once re-committed by the
+// consumer) and absorbed into two transcripts, a few field operations per
+// element on each side.
+func (c *Calibration) EstimateShardedTime(chunks []Layout, boundaryElems int) float64 {
+	var t float64
+	for _, l := range chunks {
+		t += c.EstimateProvingTime(l)
+	}
+	return t + float64(boundaryElems)*8*c.fieldOpFloor()
+}
+
+// EstimateShardedSize sums the per-chunk proof sizes plus the re-committed
+// boundary instance values (one 32-byte scalar per element on each of the
+// producing and consuming sides).
+func EstimateShardedSize(chunks []Layout, boundaryElems int) int {
+	size := 0
+	for _, l := range chunks {
+		size += l.EstimateProofSize()
+	}
+	return size + 64*boundaryElems
+}

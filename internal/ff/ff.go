@@ -176,6 +176,23 @@ func Random() Element {
 	return e
 }
 
+// RandomFrom returns a uniformly random element drawn from r; a nil r
+// draws from the process source (see SetRandomSource). The sharded prover
+// hands each chunk its own stream so that concurrently proving chunks
+// never interleave draws on the shared source, keeping proofs independent
+// of the goroutine schedule.
+func RandomFrom(r io.Reader) Element {
+	if r == nil {
+		r = randSource
+	}
+	v, err := rand.Int(r, mod.Big)
+	if err != nil {
+		panic(err) // randomness failure is unrecoverable
+	}
+	var e Element
+	return *e.SetBigInt(v)
+}
+
 // Arithmetic. All methods follow the math/big convention: z.Op(x, y) sets
 // z = x op y and returns z, and aliasing of arguments is allowed.
 

@@ -33,6 +33,23 @@ func (g *Graph) RunCircuit(b *gadgets.Builder, in *Input) ([]*layers.T, error) {
 			env[spec.Name] = layers.Inputs(b, tensor.FromSlice(q, spec.Shape...))
 		case IDInput:
 			// Read directly by embed nodes.
+		case ActInput:
+			// A chunk-boundary activation: values are already quantized
+			// fixed-point integers from the producing chunk, placed
+			// verbatim (no requantization — the chain stays exact) and
+			// made public immediately so the boundary lands at a
+			// deterministic prefix of the instance column, in g.Inputs
+			// order, ahead of the chunk's own outputs.
+			v, ok := in.Acts[spec.Name]
+			if !ok {
+				return nil, fmt.Errorf("model: missing act input %q", spec.Name)
+			}
+			if len(v) != tensor.NumElems(spec.Shape) {
+				return nil, fmt.Errorf("model: act input %q has %d values, want %d", spec.Name, len(v), tensor.NumElems(spec.Shape))
+			}
+			t := layers.Inputs(b, tensor.FromSlice(append([]int64(nil), v...), spec.Shape...))
+			layers.Outputs(b, t)
+			env[spec.Name] = t
 		}
 	}
 	quant := func(name string) *layers.IT {

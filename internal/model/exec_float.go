@@ -29,6 +29,12 @@ func (g *Graph) RunFloat(in *Input) (map[string]*FT, error) {
 			env[spec.Name] = tensor.FromSlice(append([]float64(nil), v...), spec.Shape...)
 		case IDInput:
 			// Carried separately; embed nodes read in.IDs directly.
+		case ActInput:
+			// Boundary activations are fixed-point values tied to a
+			// specific circuit scale; there is no float reference
+			// semantics for a lone chunk. Run the full (unsharded) graph
+			// for reference outputs instead.
+			return nil, fmt.Errorf("model: float execution does not support act input %q (chunk subgraph)", spec.Name)
 		default:
 			return nil, fmt.Errorf("model: unknown input kind %q", spec.Kind)
 		}

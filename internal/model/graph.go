@@ -28,13 +28,19 @@ func errModel(format string, args ...any) error {
 }
 
 // InputKind distinguishes dense float inputs from integer id inputs
-// (embedding lookups).
+// (embedding lookups) and committed activation inputs (chunk boundaries in a
+// sharded plan).
 type InputKind string
 
 // Input kinds.
 const (
 	FloatInput InputKind = "float"
 	IDInput    InputKind = "ids"
+	// ActInput is an already-quantized activation tensor entering a chunk
+	// of a sharded plan. Its values are placed verbatim (no quantization)
+	// and immediately exposed as committed public values, so the verifier
+	// can bind them to the producing chunk's public outputs.
+	ActInput InputKind = "act"
 )
 
 // InputSpec declares a model input.
@@ -146,7 +152,7 @@ func (g *Graph) Validate() error {
 		if _, err := tensor.CheckShape(in.Shape, MaxTensorElems); err != nil {
 			return errModel("%s: input %q: %v", g.Name, in.Name, err)
 		}
-		if in.Kind != FloatInput && in.Kind != IDInput {
+		if in.Kind != FloatInput && in.Kind != IDInput && in.Kind != ActInput {
 			return errModel("%s: input %q has unknown kind %q", g.Name, in.Name, in.Kind)
 		}
 		avail[in.Name] = true
@@ -268,13 +274,15 @@ func Load(path string) (*Graph, error) {
 }
 
 // Input is a concrete inference input: dense values for float inputs, ids
-// for embedding inputs.
+// for embedding inputs, and quantized fixed-point values for activation
+// inputs (chunk boundaries in a sharded plan).
 type Input struct {
 	Floats map[string][]float64
 	IDs    map[string][]int
+	Acts   map[string][]int64
 }
 
 // NewInput allocates an empty input.
 func NewInput() *Input {
-	return &Input{Floats: map[string][]float64{}, IDs: map[string][]int{}}
+	return &Input{Floats: map[string][]float64{}, IDs: map[string][]int{}, Acts: map[string][]int64{}}
 }

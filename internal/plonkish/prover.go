@@ -2,6 +2,7 @@ package plonkish
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/curve"
@@ -66,7 +67,16 @@ func (p *Proof) Size() int {
 // fixed order, so with a deterministic randomness source the proof is
 // byte-identical at every parallelism level (see TestProverDeterministic).
 func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
-	return ProveTraced(pk, instance, w, nil)
+	return prove(pk, instance, w, nil, nil)
+}
+
+// ProveWithRand is Prove with an explicit blinding source: all blinding
+// rows are drawn from rng instead of the process randomness source. A nil
+// rng is equivalent to Prove. The sharded prover uses it to give each
+// chunk an independent deterministic stream so that proofs stay
+// byte-identical regardless of which goroutine proves which chunk.
+func ProveWithRand(pk *ProvingKey, instance [][]ff.Element, w Witness, rng io.Reader) (*Proof, error) {
+	return prove(pk, instance, w, nil, rng)
 }
 
 // ProveTraced is Prove with per-stage observability (DESIGN.md §11): when
@@ -78,6 +88,10 @@ func Prove(pk *ProvingKey, instance [][]ff.Element, w Witness) (*Proof, error) {
 // process-wide, so at most one traced Prove should run at a time (untraced
 // concurrent proves would merely leak their kernel counts into the trace).
 func ProveTraced(pk *ProvingKey, instance [][]ff.Element, w Witness, trace *obs.Trace) (*Proof, error) {
+	return prove(pk, instance, w, trace, nil)
+}
+
+func prove(pk *ProvingKey, instance [][]ff.Element, w Witness, trace *obs.Trace, rng io.Reader) (*Proof, error) {
 	if trace != nil {
 		prevCurve := curve.SetKernelTrace(trace.KernelSink())
 		prevPoly := poly.SetKernelTrace(trace.KernelSink())
@@ -172,7 +186,7 @@ func ProveTraced(pk *ProvingKey, instance [][]ff.Element, w Witness, trace *obs.
 		}
 		for _, i := range cols {
 			for r := u; r < n; r++ {
-				a.Advice[i][r] = ff.Random() // blinding rows
+				a.Advice[i][r] = ff.RandomFrom(rng) // blinding rows
 			}
 		}
 		adviceCoeffs := parallel.Map(len(cols), func(idx int) []ff.Element {
@@ -216,7 +230,7 @@ func ProveTraced(pk *ProvingKey, instance [][]ff.Element, w Witness, trace *obs.
 	for k := range lookups {
 		m := make([]ff.Element, n)
 		for r := u; r < n; r++ {
-			m[r] = ff.Random()
+			m[r] = ff.RandomFrom(rng)
 		}
 		lookups[k].m = m
 	}
@@ -280,7 +294,7 @@ func ProveTraced(pk *ProvingKey, instance [][]ff.Element, w Witness, trace *obs.
 	for k := range phis {
 		phi := make([]ff.Element, n)
 		for r := u + 1; r < n; r++ {
-			phi[r] = ff.Random()
+			phi[r] = ff.RandomFrom(rng)
 		}
 		phis[k] = phi
 	}
@@ -378,7 +392,7 @@ func ProveTraced(pk *ProvingKey, instance [][]ff.Element, w Witness, trace *obs.
 			}
 			carry = z[u]
 			for r := u + 1; r < n; r++ {
-				z[r] = ff.Random()
+				z[r] = ff.RandomFrom(rng)
 			}
 			register(zCol(j), z, nil)
 			proof.ZCommits[j] = commitCol(zCol(j), "perm-z")

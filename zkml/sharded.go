@@ -1,0 +1,209 @@
+package zkml
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/fixedpoint"
+)
+
+// Sharded proving (DESIGN.md §16): the model graph is partitioned at layer
+// boundaries into chunks, each chunk compiles through the optimizer as its
+// own smaller-2^k circuit, and the chunk-boundary activations are exposed
+// as committed public values on both sides of every cut. Chunks prove in
+// parallel; verification checks every per-chunk proof plus boundary
+// equality between adjacent chunks, which binds the chain end to end.
+
+// ShardedProof is one proof per chunk, verified as a chain.
+type ShardedProof = core.ShardedProof
+
+// ShardedSystem is a compiled sharded model: one optimizer-selected circuit
+// and key pair per chunk, plus the boundary wiring that links them.
+type ShardedSystem struct {
+	Plan *core.ShardedPlan
+	Keys *core.ShardedKeys
+	opts Options
+}
+
+// shardedCoreOptions maps public Options onto the core optimizer options,
+// identically to Optimize — sharding changes what gets compiled, not how.
+func shardedCoreOptions(o Options) (core.Options, error) {
+	o = o.withDefaults()
+	fp := fixedpoint.Params{ScaleBits: o.ScaleBits, LookupBits: o.LookupBits}
+	if err := fp.Validate(); err != nil {
+		return core.Options{}, err
+	}
+	opt := core.DefaultOptions(o.Backend, fp)
+	opt.Objective = o.Objective
+	opt.MinCols, opt.MaxCols = o.MinCols, o.MaxCols
+	opt.Calibration = o.Calibration
+	if opt.Calibration == nil {
+		opt.Calibration = costmodel.LoadOrCalibrate(o.CalibrationPath)
+	}
+	return opt, nil
+}
+
+// OptimizeSharded partitions the model into shards chunks and runs the
+// layout optimizer independently on each chunk, without generating keys.
+func OptimizeSharded(g *Graph, sample *Input, shards int, o Options) (*core.ShardedPlan, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	opt, err := shardedCoreOptions(o)
+	if err != nil {
+		return nil, err
+	}
+	return core.OptimizeSharded(g, sample, shards, opt)
+}
+
+// CompileSharded partitions the model into shards chunks, optimizes each
+// chunk's circuit layout independently, and generates per-chunk proving and
+// verification keys. shards == 1 degenerates to a single-chunk chain (use
+// Compile for the plain single-circuit system).
+func CompileSharded(g *Graph, sample *Input, shards int, o Options) (*ShardedSystem, error) {
+	plan, err := OptimizeSharded(g, sample, shards, o)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := plan.Setup()
+	if err != nil {
+		return nil, fmt.Errorf("zkml: keygen: %w", err)
+	}
+	return &ShardedSystem{Plan: plan, Keys: keys, opts: o}, nil
+}
+
+// Shards reports the chunk count.
+func (s *ShardedSystem) Shards() int { return len(s.Plan.Chunks) }
+
+// Prove synthesizes all chunk witnesses (sequentially — the chain feeds
+// forward) and proves the chunks in parallel. The sharded proof is
+// byte-for-byte independent of the worker count.
+func (s *ShardedSystem) Prove(in *Input) (*ShardedProof, error) {
+	return s.Plan.Prove(s.Keys, in)
+}
+
+// Verify checks every chunk proof and the boundary-activation equality
+// along every cut. Structural failures wrap ErrMalformedProof; a chain
+// whose boundary activations disagree wraps ErrVerifyFailed.
+func (s *ShardedSystem) Verify(p *ShardedProof) error {
+	return s.Plan.Verify(s.Keys, p)
+}
+
+// Outputs dequantizes the full-model public output values of a sharded
+// proof. Returns nil for a proof whose instance shapes do not match the
+// plan (Verify reports the typed error).
+func (s *ShardedSystem) Outputs(p *ShardedProof) []float64 {
+	vals := s.Plan.FinalOutputs(p)
+	if vals == nil {
+		return nil
+	}
+	fp := s.Plan.Chunks[0].Config.FP
+	out := make([]float64, len(vals))
+	for i := range vals {
+		out[i] = fp.Dequantize(vals[i].Int64())
+	}
+	return out
+}
+
+// Audit runs the static circuit auditor over every chunk circuit, pinned to
+// each chunk's actual proving key, returning one report per chunk.
+func (s *ShardedSystem) Audit() ([]*AuditReport, error) {
+	return s.Plan.Audit(s.Keys)
+}
+
+// AuditSharded compiles a sharded layout (optimizer only — no keygen) and
+// audits every chunk circuit. The pre-keygen gate for sharded systems.
+func AuditSharded(g *Graph, sample *Input, shards int, o Options) ([]*AuditReport, error) {
+	plan, err := OptimizeSharded(g, sample, shards, o)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Audit(nil)
+}
+
+// ExportProof serializes a sharded proof: a one-byte chunk count, then per
+// chunk a 4-byte big-endian length plus that chunk's single-proof encoding.
+func (s *ShardedSystem) ExportProof(p *ShardedProof) ([]byte, error) {
+	if p == nil || len(p.Chunks) == 0 {
+		return nil, fmt.Errorf("zkml: nil sharded proof")
+	}
+	if len(p.Chunks) > 255 {
+		return nil, fmt.Errorf("zkml: sharded proof has %d chunks, export format supports at most 255", len(p.Chunks))
+	}
+	out := []byte{byte(len(p.Chunks))}
+	for c, pf := range p.Chunks {
+		blob, err := exportProofBytes(pf)
+		if err != nil {
+			return nil, fmt.Errorf("zkml: chunk %d: %w", c, err)
+		}
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(blob)))
+		out = append(out, n[:]...)
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// ImportProof deserializes a sharded proof produced by ExportProof. The
+// bytes are untrusted: every length prefix is bounds-checked, each chunk
+// goes through the hardened single-proof decoder (which rejects
+// non-canonical instance scalars), and all structural failures wrap
+// ErrMalformedProof.
+func (s *ShardedSystem) ImportProof(data []byte) (*ShardedProof, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("zkml: empty sharded proof: %w", ErrMalformedProof)
+	}
+	nChunks := int(data[0])
+	data = data[1:]
+	if nChunks != len(s.Plan.Chunks) {
+		return nil, fmt.Errorf("zkml: sharded proof carries %d chunks, system has %d: %w",
+			nChunks, len(s.Plan.Chunks), ErrMalformedProof)
+	}
+	p := &ShardedProof{Chunks: make([]*Proof, 0, nChunks)}
+	for c := 0; c < nChunks; c++ {
+		if len(data) < 4 {
+			return nil, fmt.Errorf("zkml: truncated chunk %d length: %w", c, ErrMalformedProof)
+		}
+		l := int(binary.BigEndian.Uint32(data[:4]))
+		data = data[4:]
+		if l > len(data) {
+			return nil, fmt.Errorf("zkml: chunk %d claims %d bytes with %d left: %w",
+				c, l, len(data), ErrMalformedProof)
+		}
+		pf, err := importProofBytes(data[:l])
+		if err != nil {
+			return nil, fmt.Errorf("zkml: chunk %d: %w", c, err)
+		}
+		p.Chunks = append(p.Chunks, pf)
+		data = data[l:]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("zkml: %d trailing sharded proof bytes: %w", len(data), ErrMalformedProof)
+	}
+	return p, nil
+}
+
+// ModelCommitment digests the per-chunk verifying-key digests in chain
+// order — the sharded analogue of System.ModelCommitment, binding every
+// chunk circuit (including committed weights) and their order.
+func (s *ShardedSystem) ModelCommitment() []byte {
+	h := sha256.New()
+	for _, k := range s.Keys.Chunks {
+		h.Write(k.VK.Digest())
+	}
+	return h.Sum(nil)
+}
+
+// Describe summarizes the sharded layout, one line per chunk.
+func (s *ShardedSystem) Describe() string {
+	out := fmt.Sprintf("%s: %d chunks, %d boundary elems, backend=%s, est. %.2fs / %d B\n",
+		s.Plan.Graph.Name, len(s.Plan.Chunks), s.Plan.Part.BoundaryElems, s.Plan.Backend, s.Plan.Cost, s.Plan.Size)
+	for c, p := range s.Plan.Chunks {
+		out += fmt.Sprintf("  chunk %d: %d advice cols, 2^%d rows (%d used), dot=%s, est. %.2fs\n",
+			c, p.Config.NumCols, p.K, p.UsedRows, p.Config.Dot, p.Cost)
+	}
+	return out
+}

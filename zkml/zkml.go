@@ -14,6 +14,7 @@
 package zkml
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/audit"
@@ -275,8 +276,14 @@ func Audit(g *Graph, sample *Input, o Options) (*AuditReport, error) {
 	return plan.Audit(nil, nil)
 }
 
-// Outputs dequantizes the public output values of a proof.
+// Outputs dequantizes the public output values of a proof. A proof that
+// carries no instance columns (possible for imported bytes — ImportProof
+// accepts a zero column count, and verification is what rejects it) yields
+// an empty slice rather than panicking on untrusted input.
 func (s *System) Outputs(p *Proof) []float64 {
+	if p == nil || len(p.Instance) == 0 {
+		return nil
+	}
 	fp := s.Plan.Config.FP
 	vals := p.Instance[0]
 	out := make([]float64, len(vals))
@@ -287,11 +294,20 @@ func (s *System) Outputs(p *Proof) []float64 {
 	return out
 }
 
-// ExportProof serializes a proof (and its public values) for transport.
-// The instance-column count is carried in one byte; proofs with more than
-// 255 instance columns are rejected here rather than silently truncating
-// the count and corrupting the round trip.
-func (s *System) ExportProof(p *Proof) ([]byte, error) {
+// scalarModBytes is the field modulus in canonical 32-byte big-endian form;
+// any instance encoding that compares >= it is non-canonical (v + r aliases
+// of a public value) and gets rejected at the decode boundary.
+var scalarModBytes = func() [32]byte {
+	var out [32]byte
+	ff.Modulus().FillBytes(out[:])
+	return out
+}()
+
+// exportProofBytes is the shared serialization behind System.ExportProof
+// and ShardedSystem.ExportProof: a one-byte instance-column count, each
+// column as a 4-byte big-endian length plus 32-byte canonical scalars,
+// then the proof body.
+func exportProofBytes(p *Proof) ([]byte, error) {
 	body, err := p.Proof.MarshalBinary()
 	if err != nil {
 		return nil, err
@@ -316,10 +332,15 @@ func (s *System) ExportProof(p *Proof) ([]byte, error) {
 	return append(out, body...), nil
 }
 
-// ImportProof deserializes a proof produced by ExportProof. The bytes are
-// untrusted: structural failures wrap ErrMalformedProof and arbitrary
-// input never panics or over-allocates.
-func (s *System) ImportProof(data []byte) (*Proof, error) {
+// importProofBytes is the shared decoder behind System.ImportProof and
+// ShardedSystem.ImportProof. The bytes are untrusted: structural failures
+// wrap ErrMalformedProof and arbitrary input never panics or
+// over-allocates. Instance scalars must be canonical (strictly below the
+// field modulus) — ff.Element.SetBytes silently reduces mod r, so without
+// the check a non-canonical encoding (v + r) of a public output would
+// decode to the same proof, a malleability the PR 2 canonical boundary
+// rejects everywhere else.
+func importProofBytes(data []byte) (*Proof, error) {
 	if len(data) < 1 {
 		return nil, fmt.Errorf("zkml: empty proof: %w", ErrMalformedProof)
 	}
@@ -338,6 +359,10 @@ func (s *System) ImportProof(data []byte) (*Proof, error) {
 		}
 		col := make([]ff.Element, n)
 		for i := 0; i < n; i++ {
+			if bytes.Compare(data[:32], scalarModBytes[:]) >= 0 {
+				return nil, fmt.Errorf("zkml: instance column %d value %d has a non-canonical scalar encoding: %w",
+					c, i, ErrMalformedProof)
+			}
 			col[i].SetBytes(data[:32])
 			data = data[32:]
 		}
@@ -349,6 +374,22 @@ func (s *System) ImportProof(data []byte) (*Proof, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// ExportProof serializes a proof (and its public values) for transport.
+// The instance-column count is carried in one byte; proofs with more than
+// 255 instance columns are rejected here rather than silently truncating
+// the count and corrupting the round trip.
+func (s *System) ExportProof(p *Proof) ([]byte, error) {
+	return exportProofBytes(p)
+}
+
+// ImportProof deserializes a proof produced by ExportProof. The bytes are
+// untrusted: structural failures (including non-canonical instance scalar
+// encodings) wrap ErrMalformedProof and arbitrary input never panics or
+// over-allocates.
+func (s *System) ImportProof(data []byte) (*Proof, error) {
+	return importProofBytes(data)
 }
 
 // ModelCommitment returns a digest binding the compiled circuit, including
